@@ -1,0 +1,66 @@
+"""Shared fixtures and reporting helpers for the figure benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper.  Benchmarks print the same rows/series the paper plots, so the
+shapes (who wins, by what factor, where crossovers fall) can be compared
+directly; see EXPERIMENTS.md for the recorded comparison.
+
+Heavy one-off computations run through ``benchmark.pedantic(fn,
+rounds=1)`` so ``--benchmark-only`` times a single execution instead of
+re-running multi-second experiments for statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import load_workload
+
+TOLERANCE_GRID = np.logspace(-5, -1, 9)
+INPUT_ERROR_GRID = np.logspace(-6, -2, 5)
+
+
+@pytest.fixture(scope="session")
+def h2():
+    return load_workload("h2combustion")
+
+
+@pytest.fixture(scope="session")
+def borghesi():
+    return load_workload("borghesi")
+
+
+@pytest.fixture(scope="session")
+def eurosat():
+    return load_workload("eurosat")
+
+
+@pytest.fixture(scope="session")
+def workloads(h2, borghesi, eurosat):
+    return {"h2combustion": h2, "borghesi": borghesi, "eurosat": eurosat}
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one figure's data series as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

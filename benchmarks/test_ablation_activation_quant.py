@@ -1,0 +1,73 @@
+"""Ablation: activation quantization (paper Section III-B remark).
+
+Weight-only quantization is the paper's focus, but Section III-B notes
+activation quantization "can be addressed similarly to compression error
+by applying Equation (5), while excluding all layers preceding the
+affected activation."  This bench quantizes hidden activations of the two
+MLP workloads and checks that rule's bound against the achieved error,
+alone and stacked on top of weight quantization.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro.quant import BF16, FP16, INT8, materialize, quantize_model
+from repro.quant.activations import QuantizedActivationModel
+
+_FORMATS = (FP16, BF16, INT8)
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_activation_quantization_bound(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    model = materialize(workload.qoi_model())
+    model.eval()
+    analyzer = workload.qoi_analyzer()
+    samples = workload.dataset.test_inputs[:256]
+    reference = model(samples)
+
+    def compute():
+        rows = []
+        for fmt in _FORMATS:
+            wrapped = QuantizedActivationModel(model, fmt)
+            achieved = float(
+                np.linalg.norm(wrapped(samples) - reference, axis=1).max()
+            )
+            bound = analyzer.activation_quantization_bound(fmt, activation_linf=1.0)
+            rows.append([fmt.name, achieved, bound])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        f"Ablation ({workload_name}): activation quantization (Section III-B)",
+        ["format", "achieved", "bound"],
+        rows,
+    )
+    for fmt_name, achieved, bound in rows:
+        assert achieved <= bound, f"{fmt_name} activation bound violated"
+    # FP16 activations are far cheaper in error than INT8
+    by_format = {r[0]: r for r in rows}
+    assert by_format["fp16"][1] < by_format["int8"][1]
+
+
+def test_stacked_weight_and_activation_quantization(benchmark, workloads):
+    """Both reductions together: errors compose additively in the bound."""
+    workload = workloads["h2combustion"]
+    model = workload.qoi_model()
+    analyzer = workload.qoi_analyzer()
+    samples = workload.dataset.test_inputs[:256]
+    reference = materialize(model)(samples)
+
+    def compute():
+        weight_quantized = quantize_model(model, FP16)
+        both = QuantizedActivationModel(weight_quantized.model, FP16)
+        achieved = float(np.linalg.norm(both(samples) - reference, axis=1).max())
+        bound = analyzer.quantization_bound(FP16) + analyzer.activation_quantization_bound(
+            FP16, activation_linf=1.0
+        )
+        return achieved, bound
+
+    achieved, bound = run_once(benchmark, compute)
+    print(f"\nweights+activations FP16: achieved {achieved:.3e} <= bound {bound:.3e}")
+    assert achieved <= bound

@@ -1,0 +1,66 @@
+"""Ablation: automatic tolerance-allocation search (paper Section IV-D).
+
+"Allocating a fixed proportion of the total tolerance to quantization
+does not consistently yield an optimal strategy ... this highlights the
+need for an optimization algorithm to automate the determination of the
+optimal strategy."  The library implements that search
+(:meth:`TolerancePlanner.auto_plan`); this bench verifies it dominates
+every fixed-fraction strategy across the tolerance sweep.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import CODEC_CLASSES, exec_throughput_gbps
+from repro import InferencePipeline, TolerancePlanner
+from repro.perf import IOModel
+
+_TOLERANCES = np.logspace(-3, -1, 4)
+_FIXED_FRACTIONS = (0.1, 0.5, 0.9)
+
+
+def _throughput_of_plan(workload, codec_name, plan):
+    pipeline = InferencePipeline(workload.qoi_model(), CODEC_CLASSES[codec_name](), plan)
+    blob = pipeline.store(workload.dataset.fields)
+    io_gbps = IOModel().throughput_gbps(codec_name, blob.compression_ratio)
+    return min(io_gbps, exec_throughput_gbps(workload, plan.fmt.name))
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_auto_plan_dominates_fixed_fractions(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    planner = TolerancePlanner(workload.qoi_analyzer())
+    codec_name = "sz"
+
+    def compute():
+        rows = []
+        for tolerance in _TOLERANCES:
+            fixed = {
+                fraction: _throughput_of_plan(
+                    workload, codec_name, planner.plan(float(tolerance), quant_fraction=fraction)
+                )
+                for fraction in _FIXED_FRACTIONS
+            }
+            auto = planner.auto_plan(
+                float(tolerance),
+                lambda plan: _throughput_of_plan(workload, codec_name, plan),
+            )
+            auto_throughput = auto.metadata["predicted_throughput"]
+            rows.append(
+                [tolerance, fixed[0.1], fixed[0.5], fixed[0.9], auto_throughput,
+                 auto.fmt.name, auto.quant_fraction]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        f"Ablation ({workload_name}): auto allocation vs fixed fractions (total GB/s)",
+        ["qoi tol", "frac 0.1", "frac 0.5", "frac 0.9", "auto", "auto fmt", "auto frac"],
+        rows,
+    )
+    for row in rows:
+        best_fixed = max(row[1:4])
+        assert row[4] >= best_fixed * 0.98, (
+            f"auto ({row[4]:.2f}) lost to a fixed fraction ({best_fixed:.2f})"
+        )

@@ -1,0 +1,92 @@
+"""Ablations on codec design choices called out in DESIGN.md.
+
+* SZ interpolation order — linear vs cubic vs dynamic selection (the
+  "dynamic spline interpolation" of the paper's SZ reference [6]);
+* MGARD level weighting ``s`` — how budget distribution across levels
+  trades ratio for smoothness;
+* ZFP fixed-rate vs fixed-accuracy operating modes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro.compress import ErrorBoundMode, MGARDCompressor, SZCompressor, ZFPCompressor
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_sz_interpolation_ablation(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    fields = workload.dataset.fields
+
+    def compute():
+        rows = []
+        for interpolation in ("linear", "cubic", "dynamic"):
+            codec = SZCompressor(interpolation=interpolation)
+            for tolerance in (1e-2, 1e-3, 1e-4):
+                blob = codec.compress(fields, tolerance, ErrorBoundMode.ABS)
+                rows.append([interpolation, tolerance, blob.compression_ratio])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        f"Ablation ({workload_name}): SZ spline order vs compression ratio",
+        ["interpolation", "tolerance", "ratio"],
+        rows,
+    )
+    by_mode = {
+        mode: [r[2] for r in rows if r[0] == mode]
+        for mode in ("linear", "cubic", "dynamic")
+    }
+    # dynamic selection never loses meaningfully to either fixed order
+    for index in range(3):
+        best_fixed = max(by_mode["linear"][index], by_mode["cubic"][index])
+        assert by_mode["dynamic"][index] >= best_fixed * 0.95
+
+
+def test_mgard_s_weight_ablation(benchmark, workloads):
+    fields = workloads["h2combustion"].dataset.fields
+
+    def compute():
+        rows = []
+        for s_weight in (0.0, 0.25, 0.5, 1.0):
+            codec = MGARDCompressor(s_weight=s_weight)
+            blob = codec.compress(fields, 1e-3, ErrorBoundMode.ABS)
+            reconstruction = codec.decompress(blob)
+            achieved = float(np.abs(reconstruction - fields).max())
+            rows.append([s_weight, blob.compression_ratio, achieved])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        "Ablation (h2combustion): MGARD level weighting s",
+        ["s_weight", "ratio", "achieved Linf"],
+        rows,
+    )
+    for __, __, achieved in rows:
+        assert achieved <= 1e-3
+
+
+def test_zfp_fixed_rate_vs_fixed_accuracy(benchmark, workloads):
+    fields = workloads["h2combustion"].dataset.fields
+
+    def compute():
+        codec = ZFPCompressor()
+        rows = []
+        for bits_per_value in (2.0, 4.0, 8.0, 16.0):
+            blob = codec.compress_fixed_rate(fields, bits_per_value)
+            reconstruction = codec.decompress(blob)
+            achieved = float(np.abs(reconstruction - fields).max())
+            rows.append([bits_per_value, blob.metadata["achieved_bpv"], achieved])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        "Ablation (h2combustion): ZFP fixed-rate accuracy scaling",
+        ["target bpv", "achieved bpv", "achieved Linf"],
+        rows,
+    )
+    for target, achieved_bpv, __ in rows:
+        assert achieved_bpv <= target
+    errors = [r[2] for r in rows]
+    assert errors == sorted(errors, reverse=True), "more bits must not hurt accuracy"

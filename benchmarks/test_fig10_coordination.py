@@ -1,0 +1,51 @@
+"""Fig. 10: coordination of data reduction and quantization on H2.
+
+Left panel: with quantization prioritized (a large allocation fraction),
+compression exploits the gap between the chosen format's error bound and
+the total tolerance.  Right panel: I/O vs execution throughput — for the
+tiny H2 surrogate, model execution is the pipeline bottleneck at every
+tolerance, exactly as the paper reports.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from pipeutils import (
+    SWEEP_HEADER,
+    assert_sweep_contract,
+    baseline_total_gbps,
+    pipeline_sweep,
+    sweep_rows,
+)
+
+_TOLERANCES = np.logspace(-4, -1, 7)
+
+
+def test_fig10_quantization_priority(benchmark, h2):
+    records = run_once(
+        benchmark,
+        lambda: pipeline_sweep(h2, "sz", "linf", _TOLERANCES, fractions=(0.9,)),
+    )
+    print_table("Fig. 10 (h2combustion, SZ, quantization prioritized)", SWEEP_HEADER, sweep_rows(records))
+    assert_sweep_contract(records)
+
+    formats = [r["fmt"] for r in records]
+    # quantization activates once the tolerance admits a format: the
+    # format sequence moves monotonically toward cheaper formats
+    order = {"fp32": 0, "tf32": 1, "bf16": 2, "fp16": 3, "int8": 4}
+    ranks = [order[f] for f in formats]
+    assert ranks == sorted(ranks), f"format selection not monotone: {formats}"
+    assert formats[-1] in ("fp16", "int8"), "loose tolerance should admit a fast format"
+
+    # Paper: "model execution is a bottleneck ... consistently smaller
+    # than that of the I/O, even at the point where 100% of the total
+    # tolerance is allocated to quantization."
+    for record in records:
+        assert record["exec_gbps"] <= record["io_gbps"] * 1.05
+
+    # Once quantization kicks in, the end-to-end pipeline clearly beats
+    # the uncompressed FP32 baseline.
+    baseline = baseline_total_gbps(h2)
+    speedup = records[-1]["total_gbps"] / baseline
+    print(f"\nend-to-end speedup at loosest tolerance: {speedup:.2f}x over {baseline:.2f} GB/s")
+    assert speedup > 3.0

@@ -1,0 +1,42 @@
+"""Fig. 11: predicted bound + throughput vs user tolerance; MGARD, L-inf.
+
+The full planned pipeline (tolerance allocation -> format selection ->
+compression -> quantized inference) swept over user tolerances and
+quantization-allocation fractions of 10/50/90%, with MGARD as the
+compression backend under a pointwise (L-infinity) QoI tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import (
+    SWEEP_HEADER,
+    assert_sweep_contract,
+    baseline_total_gbps,
+    pipeline_sweep,
+    sweep_rows,
+)
+
+_TOLERANCES = np.logspace(-4, -1, 5)
+CODEC = "mgard"
+NORM = "linf"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi", "eurosat"])
+def test_fig11_pipeline(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(workload, CODEC, NORM, _TOLERANCES)
+    )
+    print_table(
+        f"Fig. 11 ({workload_name}, {CODEC}, {NORM}): planned pipeline sweep",
+        SWEEP_HEADER,
+        sweep_rows(records),
+    )
+    assert_sweep_contract(records)
+    baseline = baseline_total_gbps(workload)
+    best = max(r["total_gbps"] for r in records)
+    print(f"\nbest end-to-end speedup: {best / baseline:.2f}x over {baseline:.2f} GB/s")
+    if workload_name != "eurosat":  # the deep ResNet gain limits compression
+        assert best / baseline > 2.0

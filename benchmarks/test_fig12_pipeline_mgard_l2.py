@@ -1,0 +1,44 @@
+"""Fig. 12: predicted bound + throughput vs user tolerance; MGARD, L2.
+
+Same sweep as Fig. 11 under an L2 QoI tolerance (MGARD supports L2
+tolerances natively, unlike ZFP).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import (
+    SWEEP_HEADER,
+    assert_sweep_contract,
+    pipeline_sweep,
+    sweep_rows,
+)
+
+_TOLERANCES = np.logspace(-3, -1, 4)
+CODEC = "mgard"
+NORM = "l2"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_fig12_pipeline(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(workload, CODEC, NORM, _TOLERANCES)
+    )
+    print_table(
+        f"Fig. 12 ({workload_name}, {CODEC}, {NORM}): planned pipeline sweep",
+        SWEEP_HEADER,
+        sweep_rows(records),
+    )
+    assert_sweep_contract(records)
+    # a lower quantization fraction delays the first non-FP32 format to a
+    # larger total tolerance (Section IV-D: "lower proportion ... shifts
+    # the occurrence of quantization rightwards")
+    def first_quant_tolerance(fraction):
+        for record in sorted(records, key=lambda r: r["tolerance"]):
+            if record["fraction"] == fraction and record["fmt"] != "fp32":
+                return record["tolerance"]
+        return np.inf
+
+    assert first_quant_tolerance(0.1) >= first_quant_tolerance(0.9)

@@ -1,0 +1,65 @@
+"""Fig. 13: predicted bound + throughput vs user tolerance; SZ, L-inf.
+
+The paper's key end-to-end observation — roughly 5x total speedup at a
+QoI tolerance near 1e-3..1e-2, driven by FP16 quantization becoming
+admissible and freeing tolerance for aggressive compression — is checked
+here on the H2 workload.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import (
+    SWEEP_HEADER,
+    assert_sweep_contract,
+    baseline_total_gbps,
+    pipeline_sweep,
+    sweep_rows,
+)
+
+_TOLERANCES = np.logspace(-4, -1, 5)
+CODEC = "sz"
+NORM = "linf"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi", "eurosat"])
+def test_fig13_pipeline(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(workload, CODEC, NORM, _TOLERANCES)
+    )
+    print_table(
+        f"Fig. 13 ({workload_name}, {CODEC}, {NORM}): planned pipeline sweep",
+        SWEEP_HEADER,
+        sweep_rows(records),
+    )
+    assert_sweep_contract(records)
+
+
+def test_fig13_fp16_turning_point(benchmark, h2):
+    """Throughput accelerates once FP16 becomes admissible (Section IV-D)."""
+    tolerances = np.logspace(-4, -1, 9)
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(h2, CODEC, NORM, tolerances, fractions=(0.5,))
+    )
+    baseline = baseline_total_gbps(h2)
+    rows = [
+        [r["tolerance"], r["fmt"], r["total_gbps"], r["total_gbps"] / baseline]
+        for r in records
+    ]
+    print_table(
+        "Fig. 13 (h2combustion): total speedup vs tolerance",
+        ["qoi tol", "format", "total GB/s", "speedup"],
+        rows,
+    )
+    fp16_points = [r for r in records if r["fmt"] in ("fp16", "int8")]
+    fp32_points = [r for r in records if r["fmt"] == "fp32"]
+    assert fp16_points, "FP16 never became admissible"
+    # the jump: every post-FP16 point beats every FP32 point
+    assert min(r["total_gbps"] for r in fp16_points) > max(
+        r["total_gbps"] for r in fp32_points
+    )
+    best_speedup = max(r["total_gbps"] for r in records) / baseline
+    print(f"\nbest speedup {best_speedup:.2f}x (paper reports ~5x at QoI ~1e-3)")
+    assert best_speedup > 3.0

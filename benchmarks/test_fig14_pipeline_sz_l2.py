@@ -1,0 +1,35 @@
+"""Fig. 14: predicted bound + throughput vs user tolerance; SZ, L2."""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import SWEEP_HEADER, assert_sweep_contract, pipeline_sweep, sweep_rows
+
+_TOLERANCES = np.logspace(-3, -1, 4)
+CODEC = "sz"
+NORM = "l2"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_fig14_pipeline(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(workload, CODEC, NORM, _TOLERANCES)
+    )
+    print_table(
+        f"Fig. 14 ({workload_name}, {CODEC}, {NORM}): planned pipeline sweep",
+        SWEEP_HEADER,
+        sweep_rows(records),
+    )
+    assert_sweep_contract(records)
+    # overlapping allocation strategies: within tolerance intervals where
+    # the same format is selected for all fractions, plans coincide
+    # (Section IV-D's "data points overlap across different tolerance
+    # allocation strategies")
+    for tolerance in _TOLERANCES:
+        at_tol = [r for r in records if r["tolerance"] == tolerance]
+        formats = {r["fmt"] for r in at_tol}
+        if len(formats) == 1:
+            bounds = {round(r["predicted_bound"], 12) for r in at_tol}
+            assert len(bounds) == 1

@@ -1,0 +1,32 @@
+"""Fig. 15: predicted bound + throughput vs user tolerance; ZFP, L-inf.
+
+ZFP appears only in the L-infinity figure family: it has no L2 tolerance
+mode (enforced by the framework, tested in Fig. 8).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from pipeutils import SWEEP_HEADER, assert_sweep_contract, pipeline_sweep, sweep_rows
+
+_TOLERANCES = np.logspace(-4, -1, 5)
+CODEC = "zfp"
+NORM = "linf"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi", "eurosat"])
+def test_fig15_pipeline(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    records = run_once(
+        benchmark, lambda: pipeline_sweep(workload, CODEC, NORM, _TOLERANCES)
+    )
+    print_table(
+        f"Fig. 15 ({workload_name}, {CODEC}, {NORM}): planned pipeline sweep",
+        SWEEP_HEADER,
+        sweep_rows(records),
+    )
+    assert_sweep_contract(records)
+    # ZFP's stable decompression keeps its I/O throughput in a narrow band
+    io_values = [r["io_gbps"] for r in records]
+    assert max(io_values) / min(io_values) < 8.0

@@ -1,0 +1,33 @@
+"""Fig. 6: quantization error — predicted bound vs achieved, L2 norm.
+
+Same experiment as Fig. 5 in the L2 norm.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+
+from test_fig5_quant_error_linf import _quant_errors
+
+_NORM = "l2"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi", "eurosat"])
+def test_fig6_quant_error(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    rows = run_once(benchmark, lambda: _quant_errors(workload, _NORM))
+    print_table(
+        f"Fig. 6 ({workload_name}): quantization error by format (L2)",
+        ["format", "achieved rel", "bound rel", "devices"],
+        rows,
+    )
+    by_format = {row[0]: row for row in rows}
+    for row in rows:
+        assert row[1] <= row[2], f"{row[0]} bound violated"
+    assert np.isclose(by_format["tf32"][2], by_format["fp16"][2], rtol=1e-6)
+    assert by_format["bf16"][2] > 3 * by_format["fp16"][2]
+    assert by_format["int8"][2] > by_format["bf16"][2]
+    # the gap between bound and achieved stays meaningful (not vacuous)
+    for row in rows:
+        assert row[2] < max(row[1], 1e-12) * 2000

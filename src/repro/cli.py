@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``analyze``     — spectral norms, Eq. (5) gain and per-format bounds of
+                    a trained workload;
+* ``plan``        — allocate a QoI tolerance between quantization and
+                    compression;
+* ``pipeline``    — run the full error-bounded inference pipeline;
+* ``compress`` /
+  ``decompress``  — error-bounded (de)compression of ``.npy`` arrays;
+* ``store``       — summarize a :class:`~repro.io.DatasetStore` directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .compress import ErrorBoundMode, get_compressor
+from .core import InferencePipeline, TolerancePlanner
+from .io import DatasetStore, blob_from_bytes, blob_to_bytes
+from .quant import STANDARD_FORMATS
+from .workloads import WORKLOAD_NAMES, load_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error-controlled neural inference on reduced scientific data",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="error-flow analysis of a workload")
+    analyze.add_argument("workload", choices=WORKLOAD_NAMES)
+    analyze.add_argument("--calibrate", action="store_true",
+                         help="tighten bounds with measured signal norms")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="include the per-layer model report")
+
+    plan = commands.add_parser("plan", help="allocate a QoI tolerance")
+    plan.add_argument("workload", choices=WORKLOAD_NAMES)
+    plan.add_argument("--tolerance", type=float, required=True)
+    plan.add_argument("--norm", choices=("linf", "l2"), default="linf")
+    plan.add_argument("--fraction", type=float, default=0.5,
+                      help="share of the tolerance allocated to quantization")
+
+    pipeline = commands.add_parser("pipeline", help="run the full pipeline")
+    pipeline.add_argument("workload", choices=WORKLOAD_NAMES)
+    pipeline.add_argument("--tolerance", type=float, required=True)
+    pipeline.add_argument("--norm", choices=("linf", "l2"), default="linf")
+    pipeline.add_argument("--codec", choices=("sz", "zfp", "mgard"), default="sz")
+    pipeline.add_argument("--fraction", type=float, default=0.5)
+
+    compress = commands.add_parser("compress", help="compress a .npy array")
+    compress.add_argument("input", help="path to a .npy file")
+    compress.add_argument("--out", required=True, help="output .rblob path")
+    compress.add_argument("--codec", choices=("sz", "zfp", "mgard"), default="sz")
+    compress.add_argument("--tolerance", type=float, required=True)
+    compress.add_argument(
+        "--mode", choices=[m.value for m in ErrorBoundMode], default="abs"
+    )
+
+    decompress = commands.add_parser("decompress", help="decompress an .rblob")
+    decompress.add_argument("input", help="path to an .rblob file")
+    decompress.add_argument("--out", required=True, help="output .npy path")
+
+    store = commands.add_parser("store", help="summarize a DatasetStore directory")
+    store.add_argument("directory")
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    workload = load_workload(args.workload)
+    analyzer = workload.qoi_analyzer()
+    if args.calibrate:
+        analyzer.calibrate(workload.dataset.test_inputs)
+    sigmas = [f"{s:.3f}" for s in analyzer.layer_sigmas()]
+    print(f"workload: {workload.name} (variant {workload.variant})")
+    print(f"layers: {len(sigmas)}  sigmas: {', '.join(sigmas)}")
+    print(f"Eq. (5) gain: {analyzer.gain():.3f}")
+    calibrated = " (calibrated)" if analyzer.is_calibrated else ""
+    print(f"quantization bounds{calibrated}:")
+    for name in ("tf32", "fp16", "bf16", "int8"):
+        bound = analyzer.quantization_bound(STANDARD_FORMATS[name])
+        print(f"  {name:>5s}: {bound:.4e}")
+    if args.verbose:
+        from .reporting import describe_model
+
+        print()
+        print(describe_model(workload.qoi_model()))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    workload = load_workload(args.workload)
+    planner = TolerancePlanner(workload.qoi_analyzer())
+    plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
+    print(plan.describe())
+    print(f"compression budget: {plan.compression_budget:.4e}")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    workload = load_workload(args.workload)
+    planner = TolerancePlanner(workload.qoi_analyzer())
+    plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
+    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    if workload.name == "eurosat":
+        reshape = lambda f: f.astype(np.float32)  # noqa: E731
+    else:
+        reshape = None
+    result = pipeline.execute(workload.dataset.fields, samples_from_fields=reshape)
+    achieved = result.qoi_error(args.norm, relative=False)
+    print(plan.describe())
+    print(f"compression ratio: {result.compression_ratio:.2f}x")
+    print(f"achieved QoI error: {achieved:.4e} (tolerance {args.tolerance:.1e})")
+    if achieved > args.tolerance:
+        print("TOLERANCE VIOLATED", file=sys.stderr)
+        return 1
+    print("tolerance honoured")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    array = np.load(args.input)
+    codec = get_compressor(args.codec)
+    blob = codec.compress(array, args.tolerance, ErrorBoundMode(args.mode))
+    with open(args.out, "wb") as handle:
+        handle.write(blob_to_bytes(blob))
+    print(
+        f"{args.input}: {array.nbytes} B -> {blob.nbytes} B "
+        f"(ratio {blob.compression_ratio:.2f}x, codec {blob.codec}, "
+        f"{blob.mode.value} tol {blob.tolerance:.2e})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as handle:
+        blob = blob_from_bytes(handle.read())
+    codec = get_compressor(blob.codec)
+    array = codec.decompress(blob)
+    np.save(args.out, array)
+    print(f"{args.input} -> {args.out} shape={array.shape} dtype={array.dtype}")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    store = DatasetStore(args.directory)
+    rows = store.summary()
+    if not rows:
+        print(f"{args.directory}: empty store")
+        return 0
+    print(f"{'name':20s} {'codec':6s} {'shape':>16s} {'tol':>10s} {'ratio':>7s}")
+    for name, codec, shape, tolerance, ratio in rows:
+        print(f"{name:20s} {codec:6s} {str(shape):>16s} {tolerance:10.2e} {ratio:7.2f}")
+    return 0
+
+
+_HANDLERS = {
+    "analyze": _cmd_analyze,
+    "plan": _cmd_plan,
+    "pipeline": _cmd_pipeline,
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "store": _cmd_store,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Codec framework: error-bound modes, compressed blobs, compressor ABC.
+
+The paper uses three error-bounded lossy compressors (SZ, ZFP, MGARD) and
+exercises them under both pointwise (L-infinity) and L2 tolerances; ZFP
+supports only the pointwise mode (Fig. 8 note).  The framework captures
+that as a per-codec ``supported_modes`` set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import CompressionError, ToleranceError
+
+__all__ = [
+    "ErrorBoundMode",
+    "CompressedBlob",
+    "Compressor",
+    "absolute_tolerance",
+    "guarded_pointwise_bound",
+]
+
+
+class ErrorBoundMode(Enum):
+    """How the user tolerance constrains the reconstruction error."""
+
+    ABS = "abs"  # max |x - x~| <= tol
+    REL = "rel"  # max |x - x~| <= tol * (max x - min x)
+    L2_ABS = "l2_abs"  # ||x - x~||_2 <= tol
+    L2_REL = "l2_rel"  # ||x - x~||_2 <= tol * ||x||_2
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self in (ErrorBoundMode.ABS, ErrorBoundMode.REL)
+
+    @property
+    def is_l2(self) -> bool:
+        return not self.is_pointwise
+
+
+def absolute_tolerance(
+    data: np.ndarray, tolerance: float, mode: ErrorBoundMode
+) -> float:
+    """Convert a tolerance in any mode into a *pointwise absolute* bound.
+
+    For L2 modes the returned pointwise bound guarantees the L2 target via
+    ``||e||_2 <= sqrt(N) * max|e|``; codecs may instead honour the L2
+    budget directly and use this only as a starting point.
+    """
+    if tolerance <= 0:
+        raise ToleranceError(f"tolerance must be positive, got {tolerance}")
+    data = np.asarray(data)
+    if mode is ErrorBoundMode.ABS:
+        return float(tolerance)
+    if mode is ErrorBoundMode.REL:
+        value_range = float(data.max() - data.min()) if data.size else 0.0
+        return float(tolerance) * (value_range if value_range > 0 else 1.0)
+    if mode is ErrorBoundMode.L2_ABS:
+        return float(tolerance) / np.sqrt(max(data.size, 1))
+    if mode is ErrorBoundMode.L2_REL:
+        norm = float(np.linalg.norm(data.astype(np.float64)))
+        return float(tolerance) * (norm if norm > 0 else 1.0) / np.sqrt(max(data.size, 1))
+    raise ToleranceError(f"unknown mode {mode!r}")
+
+
+def guarded_pointwise_bound(data: np.ndarray, eb: float) -> float:
+    """Shrink a pointwise bound so storage-dtype rounding cannot break it.
+
+    Reconstructions are returned in the input's dtype; the final cast can
+    add up to half an ulp at the data's magnitude.  Returns a bound that
+    leaves room for that, or a non-positive value when the tolerance is
+    below the dtype's own precision (callers then fall back to lossless).
+    """
+    data = np.asarray(data)
+    if data.size == 0:
+        return eb
+    if np.issubdtype(data.dtype, np.floating):
+        eps = float(np.finfo(data.dtype).eps)
+    else:
+        eps = 0.0
+    cast_slack = 0.5 * eps * float(np.max(np.abs(data.astype(np.float64))))
+    return eb * (1.0 - 1e-9) - cast_slack
+
+
+@dataclass
+class CompressedBlob:
+    """A self-describing compressed payload.
+
+    Attributes
+    ----------
+    codec:
+        Name of the producing codec (``sz``/``zfp``/``mgard``).
+    payload:
+        The compressed bytes.
+    shape, dtype:
+        Array geometry for reconstruction.
+    mode, tolerance:
+        The error-bound contract the payload honours.
+    metadata:
+        Codec-specific reconstruction parameters.
+    """
+
+    codec: str
+    payload: bytes
+    shape: tuple[int, ...]
+    dtype: str
+    mode: ErrorBoundMode
+    tolerance: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.nbytes
+
+
+class Compressor:
+    """Abstract error-bounded lossy compressor."""
+
+    #: codec registry name
+    name: str = "abstract"
+    #: error-bound modes this codec honours
+    supported_modes: frozenset[ErrorBoundMode] = frozenset()
+
+    def compress(
+        self,
+        data: np.ndarray,
+        tolerance: float,
+        mode: ErrorBoundMode = ErrorBoundMode.ABS,
+    ) -> CompressedBlob:
+        """Compress ``data`` so the reconstruction honours the tolerance."""
+        raise NotImplementedError
+
+    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+        """Reconstruct the array from a blob produced by this codec."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    def _check_mode(self, mode: ErrorBoundMode) -> None:
+        if mode not in self.supported_modes:
+            supported = ", ".join(sorted(m.value for m in self.supported_modes))
+            raise ToleranceError(
+                f"codec {self.name!r} does not support mode {mode.value!r} "
+                f"(supported: {supported})"
+            )
+
+    def _check_blob(self, blob: CompressedBlob) -> None:
+        if blob.codec != self.name:
+            raise CompressionError(
+                f"blob was produced by codec {blob.codec!r}, not {self.name!r}"
+            )
+
+    def _lossless_blob(
+        self, data: np.ndarray, tolerance: float, mode: ErrorBoundMode
+    ) -> CompressedBlob:
+        """Raw storage fallback for tolerances below dtype precision."""
+        return CompressedBlob(
+            codec=self.name,
+            payload=np.ascontiguousarray(data).tobytes(),
+            shape=data.shape,
+            dtype=str(data.dtype),
+            mode=mode,
+            tolerance=float(tolerance),
+            metadata={"lossless": True},
+        )
+
+    @staticmethod
+    def _decompress_lossless(blob: CompressedBlob) -> np.ndarray:
+        return np.frombuffer(blob.payload, dtype=blob.dtype).reshape(blob.shape).copy()
+
+    def roundtrip(
+        self,
+        data: np.ndarray,
+        tolerance: float,
+        mode: ErrorBoundMode = ErrorBoundMode.ABS,
+    ) -> tuple[np.ndarray, CompressedBlob]:
+        """Compress then decompress; returns ``(reconstruction, blob)``."""
+        blob = self.compress(data, tolerance, mode)
+        return self.decompress(blob), blob

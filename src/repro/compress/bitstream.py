@@ -1,0 +1,94 @@
+"""Bit-level I/O used by the entropy coding stages of the codecs.
+
+Writing is vectorized with numpy (codes are expanded into a flat bit array
+and packed with ``np.packbits``); reading keeps a cheap cursor-based
+interface for the canonical-Huffman decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CompressionError
+
+__all__ = ["pack_codes", "BitReader"]
+
+
+def pack_codes(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate variable-length big-endian codes into packed bytes.
+
+    Parameters
+    ----------
+    values:
+        Non-negative code values, one per symbol.
+    lengths:
+        Bit length of each code (1..32).
+
+    Returns
+    -------
+    (payload, total_bits):
+        Packed bytes (zero padded to a byte boundary) and the exact number
+        of meaningful bits.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if values.shape != lengths.shape:
+        raise CompressionError("values and lengths must have the same shape")
+    if values.size == 0:
+        return b"", 0
+    if lengths.min() < 1 or lengths.max() > 32:
+        raise CompressionError("code lengths must lie in [1, 32]")
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    total_bits = int(ends[-1])
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    # One vectorized pass per bit position within a code (MSB first).
+    for j in range(max_len):
+        active = lengths > j
+        shift = (lengths[active] - 1 - j).astype(np.uint64)
+        bits[starts[active] + j] = (values[active] >> shift) & np.uint64(1)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+class BitReader:
+    """Sequential MSB-first bit reader over packed bytes."""
+
+    def __init__(self, payload: bytes, total_bits: int) -> None:
+        self._bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        if total_bits > self._bits.size:
+            raise CompressionError(
+                f"bitstream declares {total_bits} bits but payload has {self._bits.size}"
+            )
+        self.total_bits = total_bits
+        self.position = 0
+
+    def read(self, n_bits: int) -> int:
+        """Read ``n_bits`` as an unsigned big-endian integer."""
+        end = self.position + n_bits
+        if end > self.total_bits:
+            raise CompressionError("bitstream exhausted")
+        chunk = self._bits[self.position : end]
+        self.position = end
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value
+
+    def peek16(self) -> int:
+        """Peek up to 16 bits (zero padded past the end) without advancing."""
+        end = min(self.position + 16, self._bits.size)
+        chunk = self._bits[self.position : end]
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value << (16 - len(chunk))
+
+    def skip(self, n_bits: int) -> None:
+        self.position += n_bits
+        if self.position > self.total_bits:
+            raise CompressionError("bitstream exhausted")
+
+    @property
+    def remaining(self) -> int:
+        return self.total_bits - self.position

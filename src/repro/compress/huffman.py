@@ -1,0 +1,196 @@
+"""Canonical Huffman coding over integer symbols.
+
+This is the entropy stage shared by the SZ-, ZFP- and MGARD-like codecs.
+Design points:
+
+* **canonical codes** — only code lengths are stored; codes are re-derived
+  on decode, keeping headers small;
+* **length-limited to 16 bits** — decoding uses a single 65536-entry
+  lookup table, one table hit per symbol;
+* **escape symbol** — alphabets are capped (quantization codes follow a
+  sharply peaked distribution); rare symbols are emitted as an escape code
+  followed by a raw 32-bit value, so pathological inputs cannot blow up
+  the table.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+from ..exceptions import CompressionError
+from .bitstream import pack_codes
+
+__all__ = ["huffman_encode", "huffman_decode"]
+
+_MAX_CODE_LENGTH = 16
+_MAGIC = b"HUF1"
+_ESCAPE = -(2**31)  # sentinel symbol id for escaped values
+
+
+def _code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Huffman code lengths per symbol, length-limited to 16 bits."""
+    if len(frequencies) == 1:
+        return {next(iter(frequencies)): 1}
+    heap: list[tuple[int, int, list[int]]] = []
+    for tiebreak, (symbol, freq) in enumerate(sorted(frequencies.items())):
+        heapq.heappush(heap, (freq, tiebreak, [symbol]))
+    lengths = {symbol: 0 for symbol in frequencies}
+    counter = len(frequencies)
+    while len(heap) > 1:
+        f1, __, group1 = heapq.heappop(heap)
+        f2, __, group2 = heapq.heappop(heap)
+        for symbol in group1 + group2:
+            lengths[symbol] += 1
+        counter += 1
+        heapq.heappush(heap, (f1 + f2, counter, group1 + group2))
+    # Length-limit: clamp overlong codes, then restore the Kraft sum by
+    # deepening the shallowest cheap symbols (zlib-style fix-up).
+    capped = {s: min(l, _MAX_CODE_LENGTH) for s, l in lengths.items()}
+    kraft = sum(2 ** (_MAX_CODE_LENGTH - l) for l in capped.values())
+    budget = 2**_MAX_CODE_LENGTH
+    if kraft > budget:
+        # Deepen symbols ordered by ascending frequency so common symbols
+        # keep short codes.
+        order = sorted(capped, key=lambda s: (frequencies[s], s))
+        index = 0
+        while kraft > budget:
+            symbol = order[index % len(order)]
+            index += 1
+            if capped[symbol] < _MAX_CODE_LENGTH:
+                kraft -= 2 ** (_MAX_CODE_LENGTH - capped[symbol] - 1)
+                capped[symbol] += 1
+    return capped
+
+
+def _canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical (code, length) pairs sorted by (length, symbol)."""
+    code = 0
+    previous_length = 0
+    table: dict[int, tuple[int, int]] = {}
+    for symbol, length in sorted(lengths.items(), key=lambda item: (item[1], item[0])):
+        code <<= length - previous_length
+        table[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return table
+
+
+def huffman_encode(symbols: np.ndarray, max_alphabet: int = 4096) -> bytes:
+    """Encode an integer array into a self-contained blob.
+
+    Symbols outside the ``max_alphabet`` most frequent values are escaped
+    (raw 32-bit two's complement after an escape code).
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    n = symbols.size
+    if n == 0:
+        return _MAGIC + struct.pack("<IH", 0, 0)
+    unique, inverse, counts = np.unique(symbols, return_inverse=True, return_counts=True)
+    if np.any(np.abs(unique) >= 2**31):
+        raise CompressionError("huffman symbols must fit in int32")
+    keep = np.argsort(counts)[::-1][: max_alphabet - 1]
+    kept_symbols = set(int(unique[i]) for i in keep)
+    frequencies: dict[int, int] = {
+        int(unique[i]): int(counts[i]) for i in keep
+    }
+    n_escaped = n - sum(frequencies.values())
+    if n_escaped > 0:
+        frequencies[_ESCAPE] = n_escaped
+    lengths = _code_lengths(frequencies)
+    codes = _canonical_codes(lengths)
+
+    # Vectorized mapping: per-unique code/length, ESCAPE where dropped.
+    escape_code, escape_length = codes.get(_ESCAPE, (0, 0))
+    unique_code = np.empty(unique.size, dtype=np.uint64)
+    unique_length = np.empty(unique.size, dtype=np.int64)
+    for i, symbol in enumerate(unique):
+        entry = codes.get(int(symbol))
+        if entry is None:
+            unique_code[i], unique_length[i] = escape_code, escape_length
+        else:
+            unique_code[i], unique_length[i] = entry
+    values = unique_code[inverse]
+    value_lengths = unique_length[inverse]
+
+    if n_escaped > 0:
+        # Append the raw 32-bit value after each escape code.
+        escaped_mask = ~np.isin(symbols, np.fromiter(kept_symbols, dtype=np.int64))
+        raw = (symbols[escaped_mask].astype(np.int64) & 0xFFFFFFFF).astype(np.uint64)
+        merged_values = np.empty(n + int(escaped_mask.sum()), dtype=np.uint64)
+        merged_lengths = np.empty_like(merged_values, dtype=np.int64)
+        positions = np.arange(n) + np.cumsum(escaped_mask) - escaped_mask
+        merged_values[positions] = values
+        merged_lengths[positions] = value_lengths
+        raw_positions = positions[escaped_mask] + 1
+        merged_values[raw_positions] = raw
+        merged_lengths[raw_positions] = 32
+        values, value_lengths = merged_values, merged_lengths
+
+    payload, total_bits = pack_codes(values, value_lengths)
+    header = [_MAGIC, struct.pack("<IH", n, len(lengths))]
+    for symbol, length in sorted(lengths.items(), key=lambda item: (item[1], item[0])):
+        header.append(struct.pack("<iB", symbol, length))
+    header.append(struct.pack("<Q", total_bits))
+    return b"".join(header) + payload
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Decode a blob produced by :func:`huffman_encode`."""
+    if blob[:4] != _MAGIC:
+        raise CompressionError("bad huffman magic")
+    n, n_alphabet = struct.unpack_from("<IH", blob, 4)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    offset = 10
+    lengths: dict[int, int] = {}
+    for __ in range(n_alphabet):
+        symbol, length = struct.unpack_from("<iB", blob, offset)
+        lengths[symbol] = length
+        offset += 5
+    (total_bits,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    codes = _canonical_codes(lengths)
+
+    # 16-bit prefix lookup table: prefix -> (symbol, length).
+    table_symbol = np.zeros(2**_MAX_CODE_LENGTH, dtype=np.int64)
+    table_length = np.zeros(2**_MAX_CODE_LENGTH, dtype=np.int64)
+    for symbol, (code, length) in codes.items():
+        start = code << (_MAX_CODE_LENGTH - length)
+        end = (code + 1) << (_MAX_CODE_LENGTH - length)
+        table_symbol[start:end] = symbol
+        table_length[start:end] = length
+
+    bits = np.unpackbits(np.frombuffer(blob[offset:], dtype=np.uint8))
+    if bits.size < total_bits:
+        raise CompressionError("huffman payload truncated")
+    # Sliding 16-bit window values for every bit offset.
+    padded = np.concatenate([bits, np.zeros(_MAX_CODE_LENGTH, dtype=np.uint8)])
+    window = np.zeros(total_bits + 1, dtype=np.uint32)
+    for j in range(_MAX_CODE_LENGTH):
+        window[: total_bits + 1] |= padded[j : j + total_bits + 1].astype(np.uint32) << (
+            _MAX_CODE_LENGTH - 1 - j
+        )
+
+    out = np.empty(n, dtype=np.int64)
+    position = 0
+    symbols_view = table_symbol
+    lengths_view = table_length
+    for i in range(n):
+        prefix = window[position]
+        symbol = symbols_view[prefix]
+        position += lengths_view[prefix]
+        if symbol == _ESCAPE:
+            raw = (int(window[position]) << 16) | int(window[position + 16])
+            position += 32
+            if raw >= 2**31:
+                raw -= 2**32
+            symbol = raw
+        out[i] = symbol
+    if position != total_bits:
+        raise CompressionError(
+            f"huffman stream misaligned: consumed {position} of {total_bits} bits"
+        )
+    return out

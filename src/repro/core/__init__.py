@@ -1,0 +1,37 @@
+"""The paper's contribution: error-flow analysis, planning, pipelines."""
+
+from .bounds import (
+    ErrorState,
+    compression_gain,
+    mlp_combined_bound,
+    propagate,
+    sigma_tilde,
+    step_sizes_for,
+)
+from .errorflow import ErrorFlowAnalyzer
+from .graph import ChainSpec, LinearSpec, NetworkSpec, ResidualSpec, extract_spec
+from .pipeline import InferencePipeline, PipelineResult
+from .planner import DEFAULT_FORMAT_RANKING, InferencePlan, TolerancePlanner
+from .sensitivity import SensitivityReport, probe_sensitivity
+
+__all__ = [
+    "ChainSpec",
+    "DEFAULT_FORMAT_RANKING",
+    "ErrorFlowAnalyzer",
+    "ErrorState",
+    "InferencePipeline",
+    "InferencePlan",
+    "LinearSpec",
+    "NetworkSpec",
+    "PipelineResult",
+    "ResidualSpec",
+    "SensitivityReport",
+    "TolerancePlanner",
+    "compression_gain",
+    "extract_spec",
+    "mlp_combined_bound",
+    "probe_sensitivity",
+    "propagate",
+    "sigma_tilde",
+    "step_sizes_for",
+]

@@ -1,0 +1,232 @@
+"""The paper's error bounds (Eq. 3 and Eq. 5) and their evaluation.
+
+Two equivalent implementations are provided:
+
+* :func:`mlp_combined_bound` — the *literal* Inequality (3) for an
+  L-layer chain, used as the reference in tests;
+* :func:`propagate` — a recurrence over the :class:`NetworkSpec` tree
+  that reduces to Eq. (3) on chains and extends it compositionally to
+  residual networks (each block contributes ``sigma_s + prod sigma`` to
+  the gain, exactly Eq. (1)'s structure).
+
+The recurrence tracks two scalars through the graph:
+
+``delta``
+    an upper bound on the L2 norm of the accumulated output perturbation;
+``signal``
+    an upper bound on the L2 norm of the (noisy) hidden activation
+    ``||h~||_2``, seeded with ``sqrt(n_0)`` because inputs are normalized
+    into ``[-1, 1]`` (paper Section III-B).
+
+Per layer ``l`` with spectral norm ``sigma_l`` and step ``q_l``:
+
+    delta <- C * (sigma_l * delta + q_l * sqrt(n_l) / (2 sqrt 3) * signal)
+    signal <- C * sigma~_l * signal,   sigma~_l = sigma_l + q_l sqrt(min(n_{l-1}, n_l)) / sqrt(3)
+
+Unrolling this on a chain yields Inequality (3) term by term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..quant.formats import NumericFormat
+from ..quant.stepsize import average_step_size
+from .graph import ChainSpec, LinearSpec, NetworkSpec, ResidualSpec
+
+__all__ = [
+    "ErrorState",
+    "sigma_tilde",
+    "mlp_combined_bound",
+    "compression_gain",
+    "propagate",
+    "step_sizes_for",
+]
+
+_SQRT3 = float(np.sqrt(3.0))
+
+
+def sigma_tilde(sigma: float, q: float, n_in: int, n_out: int) -> float:
+    """Post-quantization spectral norm bound (paper Section III-B)."""
+    return sigma + q * np.sqrt(min(n_in, n_out)) / _SQRT3
+
+
+def mlp_combined_bound(
+    sigmas: Sequence[float],
+    steps: Sequence[float],
+    dims: Sequence[int],
+    input_error_l2: float,
+    sigma_shortcut: float = 0.0,
+) -> float:
+    """Literal Inequality (3) for an L-layer dense chain.
+
+    Parameters
+    ----------
+    sigmas:
+        Spectral norms ``sigma_W^(l)`` for ``l = 1..L``.
+    steps:
+        Quantization steps ``q_l`` (0 for unquantized layers).
+    dims:
+        Layer widths ``n_0, n_1, ..., n_L`` (length ``L + 1``).
+    input_error_l2:
+        ``||Delta x||_2``.
+    sigma_shortcut:
+        ``sigma_s`` of the block's projection shortcut (0 for an MLP).
+    """
+    n_layers = len(sigmas)
+    if len(steps) != n_layers or len(dims) != n_layers + 1:
+        raise ConfigurationError(
+            f"inconsistent bound inputs: {n_layers} sigmas, {len(steps)} steps, "
+            f"{len(dims)} dims"
+        )
+    gain = sigma_shortcut + float(np.prod(sigmas))
+    total = gain * input_error_l2
+    n0 = dims[0]
+    for l in range(1, n_layers + 1):
+        before = 1.0
+        for i in range(1, l):
+            before *= sigma_tilde(sigmas[i - 1], steps[i - 1], dims[i - 1], dims[i])
+        after = 1.0
+        for j in range(l + 1, n_layers + 1):
+            after *= sigmas[j - 1]
+        total += before * after * steps[l - 1] * np.sqrt(n0 * dims[l]) / (2.0 * _SQRT3)
+    return float(total)
+
+
+@dataclass
+class ErrorState:
+    """The ``(delta, signal)`` pair tracked through the graph."""
+
+    delta: float
+    signal: float
+
+    def copy(self) -> "ErrorState":
+        return ErrorState(self.delta, self.signal)
+
+
+def step_sizes_for(
+    spec: NetworkSpec, fmt: NumericFormat | Sequence[NumericFormat] | None
+) -> dict[int, float]:
+    """Table-I step per linear spec (keyed by ``id`` of the spec node)."""
+    linears = spec.linear_specs()
+    if fmt is None:
+        return {id(linear): 0.0 for linear in linears}
+    if isinstance(fmt, NumericFormat):
+        formats: list[NumericFormat] = [fmt] * len(linears)
+    else:
+        formats = list(fmt)
+        if len(formats) != len(linears):
+            raise ConfigurationError(
+                f"got {len(formats)} formats for {len(linears)} linear layers"
+            )
+    steps = {}
+    for linear, layer_fmt in zip(linears, formats):
+        if layer_fmt is None or layer_fmt.is_identity:
+            steps[id(linear)] = 0.0
+        else:
+            steps[id(linear)] = average_step_size(linear.weights, layer_fmt)
+    return steps
+
+
+def _propagate_linear(
+    node: LinearSpec,
+    state: ErrorState,
+    q: float,
+    cap: float | None = None,
+) -> ErrorState:
+    lipschitz = node.lipschitz_after
+    signal_in = state.signal if cap is None else min(state.signal, cap)
+    quant_noise = q * np.sqrt(node.n_out) / (2.0 * _SQRT3) * signal_in
+    delta = lipschitz * (node.sigma * state.delta + quant_noise)
+    signal = lipschitz * sigma_tilde(node.sigma, q, node.n_in, node.n_out) * signal_in
+    return ErrorState(delta=delta, signal=signal)
+
+
+def _propagate_chain(
+    node: ChainSpec,
+    state: ErrorState,
+    steps: dict[int, float],
+    caps: dict[int, float] | None,
+) -> ErrorState:
+    for item in node.items:
+        if isinstance(item, LinearSpec):
+            cap = None if caps is None else caps.get(id(item))
+            state = _propagate_linear(item, state, steps[id(item)], cap)
+        elif isinstance(item, ResidualSpec):
+            state = _propagate_residual(item, state, steps, caps)
+        elif isinstance(item, ChainSpec):
+            # nested chains come from extension hooks (e.g. U-Net levels)
+            state = _propagate_chain(item, state, steps, caps)
+        else:  # pragma: no cover - graph construction guarantees node types
+            raise ConfigurationError(f"unknown spec node {type(item).__name__}")
+    return state
+
+
+def _propagate_residual(
+    node: ResidualSpec,
+    state: ErrorState,
+    steps: dict[int, float],
+    caps: dict[int, float] | None,
+) -> ErrorState:
+    body = _propagate_chain(node.body, state.copy(), steps, caps)
+    if node.shortcut is None:
+        skip = state.copy()  # identity: sigma_s = 1, no quantization noise
+    else:
+        skip = _propagate_chain(node.shortcut, state.copy(), steps, caps)
+    lipschitz = node.lipschitz_after
+    return ErrorState(
+        delta=lipschitz * (body.delta + skip.delta),
+        signal=lipschitz * (body.signal + skip.signal),
+    )
+
+
+def propagate(
+    spec: NetworkSpec,
+    input_error_l2: float,
+    steps: dict[int, float],
+    input_signal_l2: float | None = None,
+    signal_caps: dict[int, float] | None = None,
+) -> ErrorState:
+    """Run the error recurrence over the whole graph.
+
+    Parameters
+    ----------
+    spec:
+        Network spec from :func:`~repro.core.graph.extract_spec`.
+    input_error_l2:
+        ``||Delta x||_2`` entering the network.
+    steps:
+        Per-spec quantization steps from :func:`step_sizes_for`.
+    input_signal_l2:
+        Bound on ``||x||_2``; defaults to ``sqrt(n_0)`` per the paper's
+        normalized-input assumption.
+    signal_caps:
+        Optional per-linear upper bounds on the hidden-signal norm
+        entering that layer (data-driven calibration, keyed by spec id).
+        Without caps the recurrence uses the paper's worst-case
+        ``prod sigma~ * sqrt(n_0)`` signal growth.
+
+    Returns
+    -------
+    ErrorState
+        ``delta`` is the Eq. (3) bound on ``||Delta y||_2``.
+    """
+    if input_signal_l2 is None:
+        input_signal_l2 = float(np.sqrt(spec.n_input))
+    state = ErrorState(delta=float(input_error_l2), signal=float(input_signal_l2))
+    return _propagate_chain(spec.chain, state, steps, signal_caps)
+
+
+def compression_gain(spec: NetworkSpec) -> float:
+    """Eq. (5) amplification factor: ``sigma_s + prod_l sigma_W^(l)``.
+
+    Computed compositionally: a chain multiplies gains, a residual block
+    adds its shortcut gain (1 for identity skips).
+    """
+    zero_steps = {id(linear): 0.0 for linear in spec.linear_specs()}
+    state = propagate(spec, input_error_l2=1.0, steps=zero_steps, input_signal_l2=0.0)
+    return state.delta

@@ -1,0 +1,239 @@
+"""Extraction of the spectral structure a model exposes to the bound.
+
+The error bound of Inequality (3) consumes, per layer: the spectral norm
+``sigma_W``, the layer dimensions ``(n_in, n_out)`` and the quantization
+step ``q``.  This module walks a trained model and produces a
+:class:`NetworkSpec` tree mirroring its structure:
+
+* dense / conv layers (optionally fused with a following batch norm, whose
+  inference scale multiplies the effective operator) become
+  :class:`LinearSpec` nodes;
+* activations contribute their Lipschitz constants;
+* residual blocks become :class:`ResidualSpec` nodes carrying the
+  shortcut spectral norm ``sigma_s`` of Eq. (1).
+
+Spectral norms come from the layer's own ``alpha`` when it is trained with
+parameterized spectral normalization (exact by construction) and from
+power iteration otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.activations import Activation
+from ..nn.conv import Conv2d, SpectralConv2d
+from ..nn.linear import Linear, SpectralLinear
+from ..nn.module import Module
+from ..nn.normalization import _BatchNormBase
+from ..nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from ..nn.residual import ResidualBlock
+from ..nn.sequential import Sequential
+from ..nn.spectral import spectral_norm
+
+__all__ = ["LinearSpec", "ChainSpec", "ResidualSpec", "NetworkSpec", "extract_spec"]
+
+
+@dataclass
+class LinearSpec:
+    """One linear operator in the error-flow graph.
+
+    ``weights`` is the effective matrix (BN folded) used for quantization
+    step sizes; ``n_in`` / ``n_out`` are the effective dimensions entering
+    the ``sqrt(n)`` factors (for convs: ``C * k^2`` and ``C_out * k^2``).
+    """
+
+    name: str
+    sigma: float
+    n_in: int
+    n_out: int
+    weights: np.ndarray
+    lipschitz_after: float = 1.0
+    is_conv: bool = False
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[0]
+
+
+@dataclass
+class ChainSpec:
+    """A sequential composition of spec nodes."""
+
+    items: list = field(default_factory=list)
+
+    def linear_specs(self) -> list[LinearSpec]:
+        found: list[LinearSpec] = []
+        for item in self.items:
+            if isinstance(item, LinearSpec):
+                found.append(item)
+            else:
+                found.extend(item.linear_specs())
+        return found
+
+
+@dataclass
+class ResidualSpec:
+    """A residual block: ``y = body(x) + shortcut(x)`` (Eq. 1)."""
+
+    body: ChainSpec
+    shortcut: ChainSpec | None  # None = identity skip (sigma_s = 1)
+    lipschitz_after: float = 1.0
+
+    def linear_specs(self) -> list[LinearSpec]:
+        found = self.body.linear_specs()
+        if self.shortcut is not None:
+            found.extend(self.shortcut.linear_specs())
+        return found
+
+
+@dataclass
+class NetworkSpec:
+    """Root of the error-flow graph plus global input metadata."""
+
+    chain: ChainSpec
+    n_input: int
+
+    def linear_specs(self) -> list[LinearSpec]:
+        return self.chain.linear_specs()
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.linear_specs())
+
+
+def _layer_sigma(layer: Module, effective: np.ndarray) -> float:
+    alpha = getattr(layer, "spectral_alpha", None)
+    if alpha is not None:
+        return float(alpha)
+    return spectral_norm(effective)
+
+
+def _dense_spec(layer: Linear | SpectralLinear, name: str, bn_scale: np.ndarray | None) -> LinearSpec:
+    effective = np.asarray(layer.effective_weight(), dtype=np.float64)
+    if bn_scale is not None:
+        effective = effective * bn_scale[:, None]
+        sigma = spectral_norm(effective)
+    else:
+        sigma = _layer_sigma(layer, effective)
+    return LinearSpec(
+        name=name,
+        sigma=sigma,
+        n_in=layer.in_features,
+        n_out=layer.out_features,
+        weights=effective,
+    )
+
+
+def _conv_spec(layer: Conv2d | SpectralConv2d, name: str, bn_scale: np.ndarray | None) -> LinearSpec:
+    effective = np.asarray(layer.effective_weight(), dtype=np.float64)
+    if bn_scale is not None:
+        effective = effective * bn_scale[:, None]
+        sigma = spectral_norm(effective)
+    else:
+        sigma = _layer_sigma(layer, effective)
+    k_sq = layer.kernel_size**2
+    return LinearSpec(
+        name=name,
+        sigma=sigma,
+        n_in=layer.in_channels * k_sq,
+        n_out=layer.out_channels * k_sq,
+        weights=effective,
+        is_conv=True,
+    )
+
+
+def _extract_chain(model: Sequential, prefix: str) -> ChainSpec:
+    chain = ChainSpec()
+    layers = list(model)
+    index = 0
+    while index < len(layers):
+        layer = layers[index]
+        name = f"{prefix}{index}"
+        if isinstance(layer, (Linear, SpectralLinear, Conv2d, SpectralConv2d)):
+            bn_scale = None
+            if index + 1 < len(layers) and isinstance(layers[index + 1], _BatchNormBase):
+                bn = layers[index + 1]
+                bn_scale = np.asarray(bn.inference_scale(), dtype=np.float64)
+                index += 1  # consume the fused batch norm
+            if isinstance(layer, (Conv2d, SpectralConv2d)):
+                spec = _conv_spec(layer, name, bn_scale)
+            else:
+                spec = _dense_spec(layer, name, bn_scale)
+            chain.items.append(spec)
+        elif isinstance(layer, Activation):
+            if chain.items and isinstance(chain.items[-1], (LinearSpec, ResidualSpec)):
+                chain.items[-1].lipschitz_after *= layer.lipschitz
+            # Leading activations are Lipschitz-1 no-ops for the bound
+            # unless they exceed 1; fold them into the next linear via a
+            # conservative pre-multiplier is unnecessary for C <= 1.
+        elif isinstance(layer, ResidualBlock):
+            chain.items.append(_extract_block(layer, name))
+        elif hasattr(layer, "error_flow_spec"):
+            # Extension hook (e.g. U-Net levels): the module supplies its
+            # own spec subtree, recursing through _extract_chain.
+            node = layer.error_flow_spec(_extract_chain, name)
+            if isinstance(node, ChainSpec):
+                chain.items.extend(node.items)
+            else:
+                chain.items.append(node)
+        elif isinstance(layer, Sequential):
+            nested = _extract_chain(layer, f"{name}.")
+            chain.items.extend(nested.items)
+        elif isinstance(layer, (MaxPool2d, AvgPool2d, GlobalAvgPool2d, Flatten, _BatchNormBase)):
+            # Pooling and flattening are 1-Lipschitz in L2 (max/avg pools
+            # do not increase the L2 norm of a perturbation); a standalone
+            # batch norm contributes its scale.
+            if isinstance(layer, _BatchNormBase):
+                scale = float(np.max(np.abs(layer.inference_scale())))
+                if chain.items and isinstance(chain.items[-1], (LinearSpec, ResidualSpec)):
+                    chain.items[-1].lipschitz_after *= scale
+        else:
+            raise ConfigurationError(
+                f"error-flow extraction does not understand layer {type(layer).__name__}"
+            )
+        index += 1
+    return chain
+
+
+def _extract_block(block: ResidualBlock, prefix: str) -> ResidualSpec:
+    if not isinstance(block.body, Sequential):
+        raise ConfigurationError("residual body must be Sequential for extraction")
+    body = _extract_chain(block.body, f"{prefix}.body.")
+    shortcut = None
+    if block.shortcut is not None:
+        if not isinstance(block.shortcut, Sequential):
+            raise ConfigurationError("residual shortcut must be Sequential for extraction")
+        shortcut = _extract_chain(block.shortcut, f"{prefix}.shortcut.")
+    lipschitz = 1.0
+    if block.post_activation is not None and isinstance(block.post_activation, Activation):
+        lipschitz = block.post_activation.lipschitz
+    return ResidualSpec(body=body, shortcut=shortcut, lipschitz_after=lipschitz)
+
+
+def extract_spec(model: Module, n_input: int | None = None) -> NetworkSpec:
+    """Build the error-flow graph of a trained model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`Sequential` model built from the layers of
+        :mod:`repro.nn` (possibly containing residual blocks).
+    n_input:
+        Total input dimensionality (``prod`` of the per-sample input
+        shape).  Defaults to the first layer's ``n_in`` — correct for
+        MLPs; pass it explicitly for convolutional models.
+    """
+    if not isinstance(model, Sequential):
+        raise ConfigurationError("extract_spec expects a Sequential model")
+    chain = _extract_chain(model, "")
+    specs = chain.linear_specs()
+    if not specs:
+        raise ConfigurationError("model contains no linear layers")
+    if n_input is None:
+        first = specs[0]
+        n_input = first.weights.shape[1] if not first.is_conv else first.n_in
+    return NetworkSpec(chain=chain, n_input=int(n_input))

@@ -1,0 +1,154 @@
+"""End-to-end error-bounded inference pipeline (paper Fig. 1).
+
+``store -> (compressed blob) -> load -> decompress -> quantized model``
+
+The pipeline wires a plan from :class:`~repro.core.planner.TolerancePlanner`
+to a codec and a quantized model, measures wall-clock stage timings and
+achieved errors, and verifies that the end-to-end QoI error stays inside
+the user's tolerance — the paper's central claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
+from ..exceptions import PlanningError
+from ..nn.module import Module
+from ..quant.quantizer import QuantizedModel, quantize_model
+from .planner import InferencePlan
+
+__all__ = ["PipelineResult", "InferencePipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything measured in one pipeline execution."""
+
+    outputs: np.ndarray
+    reference_outputs: np.ndarray
+    blob: CompressedBlob
+    plan: InferencePlan
+    compress_seconds: float
+    decompress_seconds: float
+    inference_seconds: float
+    input_error_linf: float
+    input_error_l2_max: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.blob.compression_ratio
+
+    def qoi_error(self, norm: str = "linf", relative: bool = True) -> float:
+        """Worst per-sample QoI error of this run."""
+        delta = (self.outputs - self.reference_outputs).reshape(len(self.outputs), -1)
+        reference = self.reference_outputs.reshape(len(self.reference_outputs), -1)
+        if norm == "linf":
+            errors = np.abs(delta).max(axis=1)
+            scale = np.abs(reference).max()
+        elif norm == "l2":
+            errors = np.linalg.norm(delta, axis=1)
+            scale = float(np.linalg.norm(reference, axis=1).max())
+        else:
+            raise ValueError(f"norm must be 'linf' or 'l2', got {norm!r}")
+        worst = float(errors.max()) if errors.size else 0.0
+        if relative:
+            return worst / scale if scale > 0 else worst
+        return worst
+
+
+class InferencePipeline:
+    """Error-bounded inference with lossy input reduction + weight quant.
+
+    Parameters
+    ----------
+    model:
+        Trained full-precision network.
+    codec:
+        Error-bounded compressor for the input data.
+    plan:
+        Allocation produced by the planner; fixes the weight format and
+        the compressor tolerance.
+    """
+
+    def __init__(self, model: Module, codec: Compressor, plan: InferencePlan) -> None:
+        self.model = model
+        self.codec = codec
+        self.plan = plan
+        self.quantized: QuantizedModel = quantize_model(model, plan.fmt)
+        self._mode = self._select_mode()
+
+    def _select_mode(self) -> ErrorBoundMode:
+        if self.plan.norm == "linf":
+            return ErrorBoundMode.ABS
+        if ErrorBoundMode.L2_ABS in self.codec.supported_modes:
+            return ErrorBoundMode.L2_ABS
+        raise PlanningError(
+            f"codec {self.codec.name!r} does not support an L2 tolerance "
+            "(the paper notes the same restriction for ZFP)"
+        )
+
+    def store(self, fields: np.ndarray) -> CompressedBlob:
+        """Compress normalized input fields under the planned tolerance."""
+        return self.codec.compress(fields, self.plan.input_tolerance, self._mode)
+
+    def load(self, blob: CompressedBlob) -> np.ndarray:
+        """Decompress fields back into network-ready arrays."""
+        return self.codec.decompress(blob)
+
+    def execute(
+        self,
+        fields: np.ndarray,
+        samples_from_fields=None,
+    ) -> PipelineResult:
+        """Run the full pipeline on a normalized field array.
+
+        Parameters
+        ----------
+        fields:
+            Input data as stored (e.g. ``(V, H, W)`` variable planes or
+            image batches).
+        samples_from_fields:
+            Callable reshaping fields into model-input samples; defaults
+            to treating axis 0 as the variable axis of a field workload.
+
+        Returns
+        -------
+        PipelineResult
+            Outputs, reference (uncompressed FP32) outputs, timings and
+            achieved input errors.
+        """
+        if samples_from_fields is None:
+            samples_from_fields = lambda f: f.reshape(f.shape[0], -1).T.astype(np.float32)  # noqa: E731
+
+        start = time.perf_counter()
+        blob = self.store(fields)
+        compress_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        reconstructed = self.load(blob)
+        decompress_seconds = time.perf_counter() - start
+
+        samples = samples_from_fields(reconstructed)
+        start = time.perf_counter()
+        outputs = self.quantized(samples)
+        inference_seconds = time.perf_counter() - start
+
+        self.model.eval()
+        reference = self.model(samples_from_fields(fields))
+        delta = samples_from_fields(fields) - samples
+        return PipelineResult(
+            outputs=outputs,
+            reference_outputs=reference,
+            blob=blob,
+            plan=self.plan,
+            compress_seconds=compress_seconds,
+            decompress_seconds=decompress_seconds,
+            inference_seconds=inference_seconds,
+            input_error_linf=float(np.abs(delta).max()) if delta.size else 0.0,
+            input_error_l2_max=float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0,
+        )

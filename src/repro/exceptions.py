@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had a shape incompatible with the requested operation."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was configured with invalid or contradictory options."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class ToleranceError(ReproError, ValueError):
+    """A requested error tolerance is invalid or cannot be satisfied."""
+
+
+class QuantizationError(ReproError):
+    """Weight or activation quantization failed."""
+
+
+class TrainingError(ReproError):
+    """Model training diverged or was misconfigured."""
+
+
+class PlanningError(ReproError, ValueError):
+    """The tolerance planner could not produce a feasible configuration."""

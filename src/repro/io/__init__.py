@@ -1,0 +1,15 @@
+"""Persistent storage of compressed arrays (the disk side of Fig. 1)."""
+
+from .chunked import ChunkedArrayReader, ChunkedArrayWriter, read_chunked, write_chunked
+from .serialization import blob_from_bytes, blob_to_bytes
+from .store import DatasetStore
+
+__all__ = [
+    "ChunkedArrayReader",
+    "ChunkedArrayWriter",
+    "DatasetStore",
+    "blob_from_bytes",
+    "blob_to_bytes",
+    "read_chunked",
+    "write_chunked",
+]

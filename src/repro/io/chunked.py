@@ -1,0 +1,162 @@
+"""Chunked storage of large arrays — the tile pattern of in-situ HPC I/O.
+
+Petabyte-scale simulation output is never compressed as one buffer: it is
+tiled so readers can fetch regions of interest and writers stream as data
+is produced.  :class:`ChunkedArrayWriter`/:class:`ChunkedArrayReader`
+split an array into regular chunks along its leading axis, store each as
+an independent error-bounded blob in a :class:`~repro.io.store.DatasetStore`,
+and reassemble on read — each chunk individually honours the pointwise
+tolerance, so the assembled array does too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..compress import Compressor, ErrorBoundMode
+from ..exceptions import CompressionError
+from .store import DatasetStore
+
+__all__ = ["ChunkedArrayWriter", "ChunkedArrayReader", "write_chunked", "read_chunked"]
+
+_MANIFEST_SUFFIX = ".manifest.json"
+
+
+class ChunkedArrayWriter:
+    """Stream an array into a store as leading-axis chunks.
+
+    Parameters
+    ----------
+    store:
+        Destination store.
+    name:
+        Logical array name; chunks become ``<name>.cNNNN`` entries plus a
+        JSON manifest.
+    tolerance, mode, codec:
+        Error contract applied to every chunk.
+    """
+
+    def __init__(
+        self,
+        store: DatasetStore,
+        name: str,
+        tolerance: float,
+        mode: ErrorBoundMode = ErrorBoundMode.ABS,
+        codec: Compressor | str | None = None,
+    ) -> None:
+        if not mode.is_pointwise:
+            raise CompressionError(
+                "chunked storage requires a pointwise mode: per-chunk L2 "
+                "budgets do not compose into a whole-array L2 budget"
+            )
+        self.store = store
+        self.name = name
+        self.tolerance = float(tolerance)
+        self.mode = mode
+        self.codec = codec
+        self._chunks: list[dict] = []
+        self._dtype: str | None = None
+        self._closed = False
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Write one chunk (a slab along the final array's leading axis)."""
+        if self._closed:
+            raise CompressionError("writer already closed")
+        chunk = np.asarray(chunk)
+        if self._chunks and tuple(chunk.shape[1:]) != tuple(self._chunks[0]["shape"][1:]):
+            raise CompressionError(
+                f"chunk trailing shape {chunk.shape[1:]} does not match "
+                f"{tuple(self._chunks[0]['shape'][1:])}"
+            )
+        index = len(self._chunks)
+        entry = f"{self.name}.c{index:04d}"
+        self.store.put(entry, chunk, self.tolerance, self.mode, codec=self.codec)
+        self._chunks.append({"entry": entry, "shape": list(chunk.shape)})
+        self._dtype = str(chunk.dtype)
+
+    def close(self) -> None:
+        """Finalize: write the manifest that readers assemble from."""
+        if self._closed:
+            return
+        if not self._chunks:
+            raise CompressionError("no chunks were written")
+        manifest = {
+            "name": self.name,
+            "dtype": self._dtype,
+            "tolerance": self.tolerance,
+            "mode": self.mode.value,
+            "chunks": self._chunks,
+        }
+        path = os.path.join(self.store.directory, self.name + _MANIFEST_SUFFIX)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        self._closed = True
+
+    def __enter__(self) -> "ChunkedArrayWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.close()
+
+
+class ChunkedArrayReader:
+    """Reassemble (parts of) a chunked array."""
+
+    def __init__(self, store: DatasetStore, name: str) -> None:
+        path = os.path.join(store.directory, name + _MANIFEST_SUFFIX)
+        if not os.path.exists(path):
+            raise CompressionError(f"no chunked array {name!r} in {store.directory}")
+        with open(path, encoding="utf-8") as handle:
+            self.manifest = json.load(handle)
+        self.store = store
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.manifest["chunks"])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        chunks = self.manifest["chunks"]
+        leading = sum(chunk["shape"][0] for chunk in chunks)
+        return (leading,) + tuple(chunks[0]["shape"][1:])
+
+    def read_chunk(self, index: int) -> np.ndarray:
+        """Load one chunk by position."""
+        if not 0 <= index < self.n_chunks:
+            raise CompressionError(f"chunk index {index} out of range")
+        return self.store.get(self.manifest["chunks"][index]["entry"])
+
+    def read(self) -> np.ndarray:
+        """Load and concatenate every chunk."""
+        return np.concatenate([self.read_chunk(i) for i in range(self.n_chunks)])
+
+
+def write_chunked(
+    store: DatasetStore,
+    name: str,
+    array: np.ndarray,
+    tolerance: float,
+    chunk_size: int,
+    mode: ErrorBoundMode = ErrorBoundMode.ABS,
+    codec: Compressor | str | None = None,
+) -> int:
+    """Split ``array`` along axis 0 into ``chunk_size`` slabs and store.
+
+    Returns the number of chunks written.
+    """
+    if chunk_size < 1:
+        raise CompressionError("chunk_size must be >= 1")
+    with ChunkedArrayWriter(store, name, tolerance, mode, codec) as writer:
+        for start in range(0, len(array), chunk_size):
+            writer.append(array[start : start + chunk_size])
+        n_chunks = len(writer._chunks)
+    return n_chunks
+
+
+def read_chunked(store: DatasetStore, name: str) -> np.ndarray:
+    """Load a chunked array written by :func:`write_chunked`."""
+    return ChunkedArrayReader(store, name).read()

@@ -1,0 +1,76 @@
+"""On-disk serialization of compressed blobs.
+
+A :class:`~repro.compress.base.CompressedBlob` becomes a self-contained
+byte string: magic, JSON header (codec, shape, dtype, mode, tolerance,
+metadata) and the raw payload.  Everything a decoder needs travels inside
+the file, so blobs written by one process decode anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..compress.base import CompressedBlob, ErrorBoundMode
+from ..exceptions import CompressionError
+
+__all__ = ["blob_to_bytes", "blob_from_bytes"]
+
+_MAGIC = b"RBLB"
+_VERSION = 1
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Keep only JSON-representable metadata entries."""
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+            out[key] = list(value)
+    return out
+
+
+def blob_to_bytes(blob: CompressedBlob) -> bytes:
+    """Serialize a blob into a self-contained byte string."""
+    header = {
+        "codec": blob.codec,
+        "shape": list(blob.shape),
+        "dtype": blob.dtype,
+        "mode": blob.mode.value,
+        "tolerance": blob.tolerance,
+        "metadata": _jsonable_metadata(blob.metadata),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return (
+        _MAGIC
+        + struct.pack("<HI", _VERSION, len(header_bytes))
+        + header_bytes
+        + blob.payload
+    )
+
+
+def blob_from_bytes(data: bytes) -> CompressedBlob:
+    """Reconstruct a blob from :func:`blob_to_bytes` output."""
+    if data[:4] != _MAGIC:
+        raise CompressionError("not a repro blob (bad magic)")
+    version, header_length = struct.unpack_from("<HI", data, 4)
+    if version != _VERSION:
+        raise CompressionError(f"unsupported blob version {version}")
+    offset = 4 + struct.calcsize("<HI")
+    try:
+        header = json.loads(data[offset : offset + header_length].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CompressionError(f"corrupt blob header: {exc}") from exc
+    metadata = header.get("metadata", {})
+    if "padded_shape" in metadata:
+        metadata["padded_shape"] = tuple(metadata["padded_shape"])
+    return CompressedBlob(
+        codec=header["codec"],
+        payload=data[offset + header_length :],
+        shape=tuple(header["shape"]),
+        dtype=header["dtype"],
+        mode=ErrorBoundMode(header["mode"]),
+        tolerance=float(header["tolerance"]),
+        metadata=metadata,
+    )

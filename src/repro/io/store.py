@@ -1,0 +1,120 @@
+"""A tiny error-bounded array store.
+
+Models the persistent-storage side of the paper's pipeline (Fig. 1):
+simulation output lands on disk compressed under an error contract, and
+the analysis stage reads it back, paying decompression instead of raw
+bandwidth.  Each array becomes one ``<name>.rblob`` file written
+atomically; codecs are resolved from the blob itself on read.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from ..compress import CompressedBlob, Compressor, ErrorBoundMode, get_compressor
+from ..exceptions import CompressionError
+from .serialization import blob_from_bytes, blob_to_bytes
+
+__all__ = ["DatasetStore"]
+
+_SUFFIX = ".rblob"
+
+
+class DatasetStore:
+    """Directory of compressed arrays with per-array error contracts.
+
+    Parameters
+    ----------
+    directory:
+        Storage root; created if missing.
+    default_codec:
+        Codec used by :meth:`put` when none is given.
+    """
+
+    def __init__(self, directory: str, default_codec: str = "sz") -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.default_codec = default_codec
+
+    def _path(self, name: str) -> str:
+        if not name or "/" in name or name.startswith("."):
+            raise CompressionError(f"invalid array name {name!r}")
+        return os.path.join(self.directory, name + _SUFFIX)
+
+    # -- write -------------------------------------------------------------
+    def put(
+        self,
+        name: str,
+        array: np.ndarray,
+        tolerance: float,
+        mode: ErrorBoundMode = ErrorBoundMode.ABS,
+        codec: Compressor | str | None = None,
+    ) -> CompressedBlob:
+        """Compress and persist ``array`` under the given error contract.
+
+        The file write is atomic (temp file + rename), so a crashed
+        writer can never leave a torn blob behind.
+        """
+        if isinstance(codec, str) or codec is None:
+            codec = get_compressor(codec or self.default_codec)
+        blob = codec.compress(np.asarray(array), tolerance, mode)
+        payload = blob_to_bytes(blob)
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_path, self._path(name))
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return blob
+
+    # -- read --------------------------------------------------------------
+    def get(self, name: str) -> np.ndarray:
+        """Load and decompress one array."""
+        blob = self.get_blob(name)
+        codec = get_compressor(blob.codec)
+        return codec.decompress(blob)
+
+    def get_blob(self, name: str) -> CompressedBlob:
+        """Load the raw blob without decompressing."""
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise CompressionError(f"array {name!r} not found in {self.directory}")
+        with open(path, "rb") as handle:
+            return blob_from_bytes(handle.read())
+
+    # -- management ----------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def names(self) -> list[str]:
+        """Stored array names, sorted."""
+        return sorted(
+            entry[: -len(_SUFFIX)]
+            for entry in os.listdir(self.directory)
+            if entry.endswith(_SUFFIX)
+        )
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def stored_bytes(self, name: str) -> int:
+        """On-disk size of one entry."""
+        return os.path.getsize(self._path(name))
+
+    def summary(self) -> list[tuple[str, str, tuple[int, ...], float, float]]:
+        """(name, codec, shape, tolerance, compression ratio) per entry."""
+        rows = []
+        for name in self.names():
+            blob = self.get_blob(name)
+            rows.append(
+                (name, blob.codec, blob.shape, blob.tolerance, blob.compression_ratio)
+            )
+        return rows

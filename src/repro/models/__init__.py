@@ -1,0 +1,34 @@
+"""Model builders: task surrogates (paper Section IV-A) and the zoo."""
+
+from .mlp import (
+    borghesi_net,
+    build_mlp,
+    h2_reaction_net,
+    mlp_flops,
+    mlp_large,
+    mlp_medium,
+    mlp_small,
+)
+from .registry import MODEL_REGISTRY, ZOO_INPUT_SHAPES, build_model
+from .resnet import conv_flops, model_flops, resnet, resnet18
+from .unet import UNet, UNetLevel, unet
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "ZOO_INPUT_SHAPES",
+    "borghesi_net",
+    "build_mlp",
+    "build_model",
+    "conv_flops",
+    "h2_reaction_net",
+    "mlp_flops",
+    "mlp_large",
+    "mlp_medium",
+    "mlp_small",
+    "model_flops",
+    "resnet",
+    "resnet18",
+    "UNet",
+    "UNetLevel",
+    "unet",
+]

@@ -1,0 +1,50 @@
+"""Named model registry for the benchmark zoo (Figs. 2 and 9)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn.sequential import Sequential
+from .mlp import borghesi_net, h2_reaction_net, mlp_large, mlp_medium, mlp_small
+from .resnet import resnet, resnet18
+
+__all__ = ["MODEL_REGISTRY", "ZOO_INPUT_SHAPES", "build_model"]
+
+MODEL_REGISTRY: dict[str, Callable[..., Sequential]] = {
+    "h2_reaction_net": h2_reaction_net,
+    "borghesi_net": borghesi_net,
+    "resnet18": resnet18,
+    "resnet8": lambda rng=None, **kw: resnet(8, rng=rng, **kw),
+    "resnet14": lambda rng=None, **kw: resnet(14, rng=rng, **kw),
+    "resnet20": lambda rng=None, **kw: resnet(20, rng=rng, **kw),
+    "resnet26": lambda rng=None, **kw: resnet(26, rng=rng, **kw),
+    "mlp_s": mlp_small,
+    "mlp_m": mlp_medium,
+    "mlp_l": mlp_large,
+}
+
+#: Per-sample input shapes for throughput benchmarking.
+ZOO_INPUT_SHAPES: dict[str, tuple[int, ...]] = {
+    "h2_reaction_net": (9,),
+    "borghesi_net": (13,),
+    "resnet18": (13, 32, 32),
+    "resnet8": (3, 32, 32),
+    "resnet14": (3, 32, 32),
+    "resnet20": (3, 32, 32),
+    "resnet26": (3, 32, 32),
+    "mlp_s": (256,),
+    "mlp_m": (512,),
+    "mlp_l": (1024,),
+}
+
+
+def build_model(name: str, rng: np.random.Generator | None = None, **kwargs) -> Sequential:
+    """Instantiate a registered model by name."""
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise ValueError(f"unknown model {name!r}; known: {known}") from None
+    return builder(rng=rng, **kwargs)

@@ -1,0 +1,75 @@
+"""Loss functions, including the spectral-norm penalty of Section III-C.
+
+Each loss returns a scalar and provides ``backward()`` yielding the
+gradient with respect to the predictions.  The spectral penalty is a
+regularizer over the model's PSN ``alpha`` parameters; the paper adds the
+squared sum of per-layer spectral norms to the task loss so the learned
+Lipschitz budget stays small, which is what makes Inequality (3) tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, one_hot, softmax
+from .module import Module
+
+__all__ = ["MSELoss", "CrossEntropyLoss", "spectral_penalty", "spectral_penalty_backward"]
+
+
+class MSELoss:
+    """Mean squared error over all elements."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        self._diff = prediction - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return (2.0 / self._diff.size) * self._diff
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy over integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        log_probs = log_softmax(logits, axis=-1)
+        labels = np.asarray(labels, dtype=np.int64)
+        self._probs = softmax(logits, axis=-1)
+        self._targets = one_hot(labels, logits.shape[-1])
+        picked = log_probs[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(picked))
+
+    def backward(self) -> np.ndarray:
+        n = self._targets.shape[0]
+        return (self._probs - self._targets) / n
+
+
+def spectral_penalty(model: Module, weight: float) -> float:
+    """``weight * sum_l alpha_l^2`` over the model's PSN layers.
+
+    Layers participate by exposing a ``spectral_alpha`` property (both
+    :class:`~repro.nn.linear.SpectralLinear` and
+    :class:`~repro.nn.conv.SpectralConv2d` do).  Models without PSN layers
+    contribute zero, so the penalty can be added unconditionally.
+    """
+    total = 0.0
+    for module in model.modules():
+        alpha = getattr(module, "spectral_alpha", None)
+        if alpha is not None:
+            total += float(alpha) ** 2
+    return weight * total
+
+
+def spectral_penalty_backward(model: Module, weight: float) -> None:
+    """Accumulate the penalty gradient ``2 * weight * alpha`` in place."""
+    for module in model.modules():
+        if getattr(module, "spectral_alpha", None) is not None:
+            alpha_param = module.alpha
+            alpha_param.grad += 2.0 * weight * alpha_param.data

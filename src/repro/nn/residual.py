@@ -1,0 +1,134 @@
+"""Residual building blocks (paper Eq. 1).
+
+A block computes ``y = F(x, {W^(l)}) + W_s x`` where the shortcut ``W_s``
+is the identity when shapes match and a learned 1x1 projection otherwise.
+The error-flow analyzer reads the block structure through
+:meth:`ResidualBlock.shortcut_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import ReLU
+from .conv import Conv2d, SpectralConv2d
+from .module import Module
+from .normalization import BatchNorm2d
+from .sequential import Sequential
+
+__all__ = ["ResidualBlock", "BasicBlock"]
+
+
+class ResidualBlock(Module):
+    """Generic residual wrapper: ``y = body(x) + shortcut(x)``.
+
+    Parameters
+    ----------
+    body:
+        The residual mapping ``F``.
+    shortcut:
+        ``None`` for an identity skip; otherwise a module projecting ``x``
+        to the body's output shape (e.g. a strided 1x1 conv).
+    post_activation:
+        Optional activation applied to the sum (ResNet applies ReLU).
+    """
+
+    def __init__(
+        self,
+        body: Module,
+        shortcut: Module | None = None,
+        post_activation: Module | None = None,
+    ) -> None:
+        super().__init__()
+        self.body = body
+        if shortcut is not None:
+            self.shortcut = shortcut
+        else:
+            object.__setattr__(self, "shortcut", None)
+        if post_activation is not None:
+            self.post_activation = post_activation
+        else:
+            object.__setattr__(self, "post_activation", None)
+
+    @property
+    def has_projection(self) -> bool:
+        return self.shortcut is not None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        branch = self.body(x)
+        skip = x if self.shortcut is None else self.shortcut(x)
+        out = branch + skip
+        if self.post_activation is not None:
+            out = self.post_activation(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.post_activation is not None:
+            grad_output = self.post_activation.backward(grad_output)
+        grad_branch = self.body.backward(grad_output)
+        if self.shortcut is None:
+            grad_skip = grad_output
+        else:
+            grad_skip = self.shortcut.backward(grad_output)
+        return grad_branch + grad_skip
+
+
+class BasicBlock(ResidualBlock):
+    """The two-conv ResNet basic block (3x3 conv x2 + skip).
+
+    When ``stride != 1`` or the channel count changes, the skip connection
+    uses a strided 1x1 conv, as in standard ResNets.  Set
+    ``spectral=True`` to build the block from spectrally-normalized
+    convolutions *without batch norm*: the paper (Section III-C) frames
+    parameterized spectral normalization as the replacement for batch
+    normalization, and folding BN's ``gamma / sqrt(var)`` scale into the
+    operator would destroy the ``sigma = alpha`` control PSN provides.
+    The plain variant keeps the classic conv-BN-ReLU structure.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        spectral: bool = False,
+        alpha_init: float | None = None,
+    ) -> None:
+        def conv(c_in: int, c_out: int, k: int, s: int, p: int) -> Module:
+            if spectral:
+                # PSN layers carry the learnable bias beta of Eq. (6); it
+                # plays the role of batch norm's shift in BN-free blocks.
+                return SpectralConv2d(
+                    c_in, c_out, k, stride=s, padding=p, bias=True, rng=rng,
+                    alpha_init=alpha_init,
+                )
+            return Conv2d(c_in, c_out, k, stride=s, padding=p, bias=False, rng=rng)
+
+        if spectral:
+            body = Sequential(
+                conv(in_channels, out_channels, 3, stride, 1),
+                ReLU(),
+                conv(out_channels, out_channels, 3, 1, 1),
+            )
+        else:
+            body = Sequential(
+                conv(in_channels, out_channels, 3, stride, 1),
+                BatchNorm2d(out_channels),
+                ReLU(),
+                conv(out_channels, out_channels, 3, 1, 1),
+                BatchNorm2d(out_channels),
+            )
+        shortcut: Module | None = None
+        if stride != 1 or in_channels != out_channels:
+            if spectral:
+                shortcut = Sequential(conv(in_channels, out_channels, 1, stride, 0))
+            else:
+                shortcut = Sequential(
+                    conv(in_channels, out_channels, 1, stride, 0),
+                    BatchNorm2d(out_channels),
+                )
+        super().__init__(body, shortcut=shortcut, post_activation=ReLU())
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride

@@ -1,0 +1,69 @@
+"""Learning-rate schedulers.
+
+Small, explicit schedulers operating on an optimizer's ``lr`` attribute;
+``step()`` is called once per epoch by the trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepLR", "CosineAnnealingLR"]
+
+
+class Scheduler:
+    """Base scheduler: tracks the epoch count and the initial rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not hasattr(optimizer, "lr"):
+            raise ConfigurationError("scheduler requires an optimizer with an lr attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._rate_at(self.epoch)
+        return self.optimizer.lr
+
+    def _rate_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ConfigurationError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ConfigurationError("gamma must be in (0, 1]")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def _rate_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ConfigurationError("t_max must be >= 1")
+        if min_lr < 0:
+            raise ConfigurationError("min_lr must be non-negative")
+        self.t_max = int(t_max)
+        self.min_lr = float(min_lr)
+
+    def _rate_at(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + (self.base_lr - self.min_lr) * 0.5 * (
+            1.0 + np.cos(np.pi * progress)
+        )

@@ -1,0 +1,46 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: list[Module] = []
+        for index, layer in enumerate(layers):
+            self.register_module(str(index), layer)
+            self.layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.register_module(str(len(self.layers)), layer)
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output

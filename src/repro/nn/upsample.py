@@ -1,0 +1,74 @@
+"""Upsampling and channel concatenation — U-Net plumbing.
+
+Both layers carry known L2 Lipschitz behaviour, which is what the
+error-flow extension for U-Nets (paper Section VI) consumes:
+
+* nearest-neighbour x2 upsampling copies every value four times, so it
+  scales an L2 perturbation by exactly 2;
+* channel concatenation satisfies
+  ``||[a; b]||_2 = sqrt(||a||^2 + ||b||^2) <= ||a|| + ||b||`` — additive,
+  like a residual join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .module import Module
+
+__all__ = ["Upsample2d", "ConcatChannels"]
+
+
+class Upsample2d(Module):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    #: L2 gain of the operator: each value appears ``scale**2`` times.
+    def __init__(self, scale: int = 2) -> None:
+        super().__init__()
+        if scale < 1:
+            raise ShapeError("scale must be >= 1")
+        self.scale = int(scale)
+
+    @property
+    def l2_gain(self) -> float:
+        return float(self.scale)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"Upsample2d expects (N, C, H, W); got {x.shape}")
+        return x.repeat(self.scale, axis=2).repeat(self.scale, axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        s = self.scale
+        n, c, h, w = grad_output.shape
+        reshaped = grad_output.reshape(n, c, h // s, s, w // s, s)
+        return reshaped.sum(axis=(3, 5))
+
+
+class ConcatChannels(Module):
+    """Concatenate two tensors along the channel axis.
+
+    Used via explicit calls (``forward(a, b)``); ``backward`` returns the
+    gradient split back into the two inputs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._split: int | None = None
+
+    def __call__(self, a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:  # type: ignore[override]
+        return self.forward(a, b)
+
+    def forward(self, a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:  # type: ignore[override]
+        if b is None:
+            raise ShapeError("ConcatChannels.forward needs two tensors")
+        if a.shape[0] != b.shape[0] or a.shape[2:] != b.shape[2:]:
+            raise ShapeError(
+                f"concat shapes incompatible: {a.shape} vs {b.shape}"
+            )
+        self._split = a.shape[1]
+        return np.concatenate([a, b], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        return grad_output[:, : self._split], grad_output[:, self._split :]

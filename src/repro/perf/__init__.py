@@ -1,0 +1,23 @@
+"""Performance models: hardware profiles, I/O and execution throughput."""
+
+from .execmodel import ExecutionModel, StageBreakdown, measure_inference_seconds
+from .hardware import GPU_PROFILES, MI250X, RTX3080TI, V100, GPUProfile, get_gpu
+from .iomodel import DEFAULT_CODEC_SPEEDS, CodecSpeed, IOModel
+from .timer import Stopwatch, Timer
+
+__all__ = [
+    "DEFAULT_CODEC_SPEEDS",
+    "CodecSpeed",
+    "ExecutionModel",
+    "GPUProfile",
+    "GPU_PROFILES",
+    "IOModel",
+    "MI250X",
+    "RTX3080TI",
+    "StageBreakdown",
+    "Stopwatch",
+    "Timer",
+    "V100",
+    "get_gpu",
+    "measure_inference_seconds",
+]

@@ -1,0 +1,96 @@
+"""I/O throughput model for compressed reads (paper Figs. 7, 8).
+
+Reading compressed data costs (a) pulling ``size / ratio`` bytes off the
+filesystem at the disk bandwidth and (b) decompressing back to ``size``
+bytes.  Effective throughput is the harmonic composition of the two.
+
+Codec decompression rates follow the paper's observations: ZFP
+decompresses fast and *stays* fast across tolerances; SZ and MGARD slow
+down at tight tolerances (more quantization bins to decode), which is why
+their effective I/O throughput dips below the raw-disk baseline there
+(Fig. 7 caption).  We model that with a rate that scales with a power of
+the achieved compression ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["CodecSpeed", "IOModel", "DEFAULT_CODEC_SPEEDS"]
+
+
+@dataclass(frozen=True)
+class CodecSpeed:
+    """Decompression-rate model for one codec.
+
+    ``rate(ratio) = base_rate * min(1, (ratio / ratio_ref)) ** exponent``
+    in GB/s of *decompressed output*; ``exponent = 0`` gives a constant
+    rate (ZFP-like stability).
+    """
+
+    base_rate_gbps: float
+    ratio_ref: float = 8.0
+    exponent: float = 0.5
+
+    def rate(self, compression_ratio: float) -> float:
+        if compression_ratio <= 0:
+            raise ConfigurationError("compression ratio must be positive")
+        scale = min(1.0, compression_ratio / self.ratio_ref) ** self.exponent
+        return self.base_rate_gbps * scale
+
+
+#: Calibrated to reproduce Fig. 7's shapes on a 2.8 GB/s Lustre baseline.
+DEFAULT_CODEC_SPEEDS: dict[str, CodecSpeed] = {
+    "zfp": CodecSpeed(base_rate_gbps=20.0, exponent=0.0),
+    "sz": CodecSpeed(base_rate_gbps=35.0, ratio_ref=8.0, exponent=0.5),
+    "mgard": CodecSpeed(base_rate_gbps=25.0, ratio_ref=8.0, exponent=0.6),
+}
+
+
+class IOModel:
+    """Effective read throughput for raw and compressed data.
+
+    Parameters
+    ----------
+    disk_bandwidth_gbps:
+        Raw filesystem read bandwidth; the paper's baseline is 2.8 GB/s.
+    codec_speeds:
+        Per-codec decompression models.
+    """
+
+    def __init__(
+        self,
+        disk_bandwidth_gbps: float = 2.8,
+        codec_speeds: dict[str, CodecSpeed] | None = None,
+    ) -> None:
+        if disk_bandwidth_gbps <= 0:
+            raise ConfigurationError("disk bandwidth must be positive")
+        self.disk_bandwidth_gbps = float(disk_bandwidth_gbps)
+        self.codec_speeds = dict(DEFAULT_CODEC_SPEEDS if codec_speeds is None else codec_speeds)
+
+    @property
+    def baseline_gbps(self) -> float:
+        """Throughput of reading uncompressed data."""
+        return self.disk_bandwidth_gbps
+
+    def throughput_gbps(self, codec_name: str, compression_ratio: float) -> float:
+        """Effective GB/s of original data delivered per second.
+
+        ``1 / (1 / (ratio * disk_bw) + 1 / decompress_rate)``.
+        """
+        try:
+            speed = self.codec_speeds[codec_name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self.codec_speeds))
+            raise ConfigurationError(
+                f"no speed model for codec {codec_name!r}; known: {known}"
+            ) from None
+        read_time = 1.0 / (compression_ratio * self.disk_bandwidth_gbps)
+        decompress_time = 1.0 / speed.rate(compression_ratio)
+        return 1.0 / (read_time + decompress_time)
+
+    def speedup(self, codec_name: str, compression_ratio: float) -> float:
+        """Throughput gain over the uncompressed baseline."""
+        return self.throughput_gbps(codec_name, compression_ratio) / self.baseline_gbps

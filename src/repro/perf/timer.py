@@ -1,0 +1,59 @@
+"""Minimal wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager recording elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.seconds >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named phase durations across repeated laps."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str):
+        """Context manager adding this lap's time to phase ``name``."""
+        stopwatch = self
+
+        class _Lap:
+            def __enter__(self) -> None:
+                self._start = time.perf_counter()
+
+            def __exit__(self, *exc_info) -> None:
+                elapsed = time.perf_counter() - self._start
+                stopwatch.phases[name] = stopwatch.phases.get(name, 0.0) + elapsed
+
+        return _Lap()
+
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total()
+        if total == 0:
+            return {name: 0.0 for name in self.phases}
+        return {name: seconds / total for name, seconds in self.phases.items()}

@@ -1,0 +1,142 @@
+"""Reduced hydrogen-oxygen reaction kinetics (9 species).
+
+The paper's first workload is a surrogate for the chemical source terms of
+a 9-species hydrogen mechanism (ref. [1]).  This module implements a
+compact H2-O2 mechanism with Arrhenius kinetics so the dataset generator
+can produce physically-shaped (mass fractions -> reaction rates) training
+pairs: the species set matches the paper's mechanism and the rates span
+the many orders of magnitude that make error control non-trivial.
+
+Rate coefficients are representative of the Li/O'Conaire H2 mechanisms
+(irreversible forward rates); this is a *surrogate-generating* model, not
+a certified kinetics library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["SPECIES", "MOLAR_MASS", "H2Mechanism"]
+
+#: Species order used throughout the combustion workload.
+SPECIES: tuple[str, ...] = ("H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2", "N2")
+
+#: Molar masses in g/mol.
+MOLAR_MASS = np.array([2.016, 31.998, 18.015, 1.008, 15.999, 17.007, 33.006, 34.014, 28.014])
+
+_R_CAL = 1.987  # cal/(mol K)
+
+
+@dataclass(frozen=True)
+class _Reaction:
+    """One irreversible elementary reaction with Arrhenius rate."""
+
+    reactants: tuple[int, ...]
+    products: tuple[int, ...]
+    log_a: float  # log10 of pre-exponential factor (cm^3, mol, s units)
+    beta: float  # temperature exponent
+    ea: float  # activation energy, cal/mol
+    third_body: bool = False
+
+    def rate_constant(self, temperature: np.ndarray) -> np.ndarray:
+        return (
+            10.0**self.log_a
+            * temperature**self.beta
+            * np.exp(-self.ea / (_R_CAL * temperature))
+        )
+
+
+_I = {name: index for index, name in enumerate(SPECIES)}
+
+_REACTIONS: tuple[_Reaction, ...] = (
+    # chain branching / propagation
+    _Reaction((_I["H"], _I["O2"]), (_I["O"], _I["OH"]), 13.3, 0.0, 16440.0),
+    _Reaction((_I["O"], _I["H2"]), (_I["H"], _I["OH"]), 4.7, 2.67, 6290.0),
+    _Reaction((_I["OH"], _I["H2"]), (_I["H"], _I["H2O"]), 8.3, 1.51, 3430.0),
+    _Reaction((_I["O"], _I["H2O"]), (_I["OH"], _I["OH"]), 6.5, 2.02, 13400.0),
+    # dissociation / recombination (third body)
+    _Reaction((_I["H2"],), (_I["H"], _I["H"]), 19.7, -1.4, 104380.0, third_body=True),
+    _Reaction((_I["H"], _I["OH"]), (_I["H2O"],), 22.4, -2.0, 0.0, third_body=True),
+    _Reaction((_I["H"], _I["O2"]), (_I["HO2"],), 18.0, -0.8, 0.0, third_body=True),
+    # HO2 chemistry
+    _Reaction((_I["HO2"], _I["H"]), (_I["OH"], _I["OH"]), 13.8, 0.0, 295.0),
+    _Reaction((_I["HO2"], _I["H"]), (_I["H2"], _I["O2"]), 13.2, 0.0, 823.0),
+    _Reaction((_I["HO2"], _I["OH"]), (_I["H2O"], _I["O2"]), 13.5, 0.0, -497.0),
+    _Reaction((_I["HO2"], _I["HO2"]), (_I["H2O2"], _I["O2"]), 11.6, 0.0, -1093.0),
+    # H2O2 chemistry
+    _Reaction((_I["H2O2"],), (_I["OH"], _I["OH"]), 14.1, 0.0, 48430.0, third_body=True),
+    _Reaction((_I["H2O2"], _I["H"]), (_I["H2O"], _I["OH"]), 13.4, 0.0, 3970.0),
+    _Reaction((_I["H2O2"], _I["OH"]), (_I["H2O"], _I["HO2"]), 12.0, 0.0, 427.0),
+)
+
+
+class H2Mechanism:
+    """Evaluate net species production rates from mass fractions.
+
+    Parameters
+    ----------
+    density:
+        Mixture mass density in g/cm^3 (constant-density approximation).
+    t_unburnt, t_burnt:
+        Temperature is reconstructed from the water mass fraction as a
+        progress variable, interpolating between these limits [K].
+    """
+
+    n_species = len(SPECIES)
+
+    def __init__(
+        self,
+        density: float = 2.5e-4,
+        t_unburnt: float = 700.0,
+        t_burnt: float = 2400.0,
+    ) -> None:
+        self.density = float(density)
+        self.t_unburnt = float(t_unburnt)
+        self.t_burnt = float(t_burnt)
+
+    def temperature(self, mass_fractions: np.ndarray) -> np.ndarray:
+        """Progress-variable temperature model based on Y(H2O)."""
+        progress = np.clip(mass_fractions[..., _I["H2O"]] / 0.25, 0.0, 1.0)
+        return self.t_unburnt + (self.t_burnt - self.t_unburnt) * progress
+
+    def concentrations(self, mass_fractions: np.ndarray) -> np.ndarray:
+        """Molar concentrations [mol/cm^3] from mass fractions."""
+        return self.density * mass_fractions / MOLAR_MASS
+
+    def production_rates(self, mass_fractions: np.ndarray) -> np.ndarray:
+        """Net mass production rate of each species [g/(cm^3 s)].
+
+        Parameters
+        ----------
+        mass_fractions:
+            Array of shape ``(..., 9)``; values are clipped to ``[0, 1]``.
+
+        Returns
+        -------
+        Array of shape ``(..., 9)``; N2 is inert and gets rate 0.
+        """
+        mass_fractions = np.asarray(mass_fractions, dtype=np.float64)
+        if mass_fractions.shape[-1] != self.n_species:
+            raise ShapeError(
+                f"expected trailing dimension {self.n_species}, got {mass_fractions.shape}"
+            )
+        y = np.clip(mass_fractions, 0.0, 1.0)
+        conc = self.concentrations(y)
+        temperature = self.temperature(y)
+        third_body = conc.sum(axis=-1)
+        molar_rates = np.zeros_like(conc)
+        for reaction in _REACTIONS:
+            rate = reaction.rate_constant(temperature)
+            for index in reaction.reactants:
+                rate = rate * conc[..., index]
+            if reaction.third_body:
+                rate = rate * third_body
+            for index in reaction.reactants:
+                molar_rates[..., index] -= rate
+            for index in reaction.products:
+                molar_rates[..., index] += rate
+        return molar_rates * MOLAR_MASS

@@ -1,0 +1,103 @@
+"""Activation quantization (paper Section III-B).
+
+The paper focuses on weight-only quantization but notes: "The error
+introduced by activation quantization can be addressed similarly to
+compression error by applying Equation (5), while excluding all layers
+preceding the affected activation."  This module implements exactly that:
+
+* :class:`QuantizedActivationModel` runs inference with hidden
+  activations rounded to a numeric format after chosen layers;
+* :func:`activation_rounding_bound` gives the pointwise rounding error a
+  format introduces on a bounded activation vector, which the analyzer
+  amplifies through the remaining layers per Eq. (5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import QuantizationError
+from ..nn.module import Module
+from ..nn.sequential import Sequential
+from .formats import FloatFormat, IntFormat, NumericFormat
+
+__all__ = ["QuantizedActivationModel", "activation_rounding_bound"]
+
+
+def activation_rounding_bound(
+    fmt: NumericFormat, activation_linf: float, n_activations: int
+) -> float:
+    """L2 bound on the rounding error of one activation vector.
+
+    Parameters
+    ----------
+    fmt:
+        Format the activations are stored in between layers.
+    activation_linf:
+        Upper bound on ``max |h_i|`` (e.g. 1.0 right after a Tanh).
+    n_activations:
+        Width of the activation vector.
+
+    Returns
+    -------
+    float
+        ``||h - round(h)||_2`` worst case: float formats round within
+        half an ulp at the activation's own binade; integer formats use
+        the max-calibrated grid over ``[-activation_linf, activation_linf]``.
+    """
+    if activation_linf < 0:
+        raise QuantizationError("activation_linf must be non-negative")
+    if isinstance(fmt, FloatFormat):
+        if fmt.is_identity or activation_linf == 0.0:
+            return 0.0
+        exponent = max(
+            float(np.floor(np.log2(activation_linf))), float(fmt.min_normal_exponent)
+        )
+        ulp = 2.0 ** (exponent - fmt.mantissa_bits)
+        return float(ulp / 2.0 * np.sqrt(n_activations))
+    if isinstance(fmt, IntFormat):
+        pitch = 2.0 * activation_linf / fmt.levels
+        return float(pitch / 2.0 * np.sqrt(n_activations))
+    raise QuantizationError(f"no activation rounding rule for {fmt!r}")
+
+
+class QuantizedActivationModel:
+    """Inference wrapper rounding hidden activations to a format.
+
+    Parameters
+    ----------
+    model:
+        A :class:`Sequential` inference network (materialize spectral
+        models first).
+    fmt:
+        Storage format for the activations between layers.
+    after_layers:
+        Indices of layers whose *outputs* are quantized; default: every
+        layer except the last (the QoI itself stays full precision).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        fmt: NumericFormat,
+        after_layers: list[int] | None = None,
+    ) -> None:
+        if not isinstance(model, Sequential):
+            raise QuantizationError("activation quantization expects a Sequential model")
+        self.model = model
+        self.fmt = fmt
+        if after_layers is None:
+            after_layers = list(range(len(model) - 1))
+        self.after_layers = set(int(i) for i in after_layers)
+        bad = [i for i in self.after_layers if not 0 <= i < len(model)]
+        if bad:
+            raise QuantizationError(f"layer indices out of range: {bad}")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.model.eval()
+        out = x
+        for index, layer in enumerate(self.model):
+            out = layer(out)
+            if index in self.after_layers and not self.fmt.is_identity:
+                out = self.fmt.quantize(out).astype(np.float32)
+        return out

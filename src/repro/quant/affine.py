@@ -1,0 +1,71 @@
+"""Uniform affine quantization primitives (integer codes + scale/zero point).
+
+:class:`~repro.quant.formats.IntFormat` rounds values in one shot; this
+module exposes the underlying code/scale representation, which is what a
+deployment stack actually stores and what the granular (block/row/column)
+schemes parameterize per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import QuantizationError
+
+__all__ = ["AffineParams", "calibrate_minmax", "quantize_affine", "dequantize_affine"]
+
+
+@dataclass(frozen=True)
+class AffineParams:
+    """Scale and zero point for one quantization group.
+
+    Reconstruction is ``value = (code - zero_point) * scale``.
+    """
+
+    scale: float
+    zero_point: int
+    bits: int
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def code_min(self) -> int:
+        return 0
+
+    @property
+    def code_max(self) -> int:
+        return self.levels - 1
+
+
+def calibrate_minmax(values: np.ndarray, bits: int = 8) -> AffineParams:
+    """Max calibration: span the grid across ``[min(values), max(values)]``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise QuantizationError("cannot calibrate an empty tensor")
+    if bits < 2:
+        raise QuantizationError(f"affine quantization needs >= 2 bits, got {bits}")
+    low = float(values.min())
+    high = float(values.max())
+    if high == low:
+        # Degenerate constant tensor: any positive scale reproduces it.
+        return AffineParams(scale=1.0, zero_point=int(round(-low)), bits=bits)
+    scale = (high - low) / (2**bits - 1)
+    zero_point = int(round(-low / scale))
+    return AffineParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def quantize_affine(values: np.ndarray, params: AffineParams) -> np.ndarray:
+    """Map floats to integer codes in ``[0, 2^bits - 1]``."""
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.round(values / params.scale) + params.zero_point
+    return np.clip(codes, params.code_min, params.code_max).astype(np.int64)
+
+
+def dequantize_affine(codes: np.ndarray, params: AffineParams) -> np.ndarray:
+    """Reconstruct floats from integer codes."""
+    codes = np.asarray(codes, dtype=np.int64)
+    return (codes - params.zero_point).astype(np.float64) * params.scale

@@ -1,0 +1,64 @@
+"""Average quantization step sizes — the formulas of Table I.
+
+The error bound of Inequality (3) consumes one scalar per layer: the
+average quantization step ``q_l = q(W^(l))``.  For floating-point formats
+the per-element step is ``2^(-m) * 2^floor(log2 |W_ij|)`` (the ulp at the
+element's binade) and the table aggregates it in root-mean-square form;
+for INT8 affine quantization the step is the grid pitch over the weight
+range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import QuantizationError
+from .formats import FloatFormat, IntFormat, NumericFormat
+
+__all__ = ["average_step_size", "elementwise_step_size"]
+
+
+def elementwise_step_size(weights: np.ndarray, fmt: NumericFormat) -> np.ndarray:
+    """Per-element rounding step for ``weights`` under ``fmt``.
+
+    Float formats: the ulp at each element's binade, with the exponent
+    clamped at the format's minimum normal exponent (Table I clamps FP16
+    at -14).  Zero entries have step 0.  Integer formats: constant
+    ``(max - min) / 2^bits`` everywhere (Table I, INT8 row).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if isinstance(fmt, FloatFormat):
+        steps = np.zeros_like(weights)
+        nonzero = weights != 0.0
+        if np.any(nonzero):
+            exponent = np.floor(np.log2(np.abs(weights[nonzero])))
+            exponent = np.maximum(exponent, float(fmt.min_normal_exponent))
+            steps[nonzero] = np.exp2(exponent - fmt.mantissa_bits)
+        return steps
+    if isinstance(fmt, IntFormat):
+        if weights.size == 0:
+            return np.zeros_like(weights)
+        pitch = (float(weights.max()) - float(weights.min())) / fmt.levels
+        return np.full_like(weights, pitch)
+    raise QuantizationError(f"no step-size rule for format {fmt!r}")
+
+
+def average_step_size(weights: np.ndarray, fmt: NumericFormat) -> float:
+    """Table I: the average (RMS) quantization step ``q(W)``.
+
+    * TF32: ``2^-10 * sqrt(mean 2^(2 floor(log2 |W_ij|)))``
+    * FP16: same with the exponent clamped at -14
+    * BF16: ``2^-7  * sqrt(mean 2^(2 floor(log2 |W_ij|)))``
+    * INT8: ``2^-8  * (max W - min W)``
+
+    The RMS aggregation matches how the steps enter the bound: the
+    quantization noise variance per weight is ``q_ij^2 / 12``, so the
+    layer-level scalar must preserve the mean square.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        return 0.0
+    if isinstance(fmt, IntFormat):
+        return float(weights.max() - weights.min()) / fmt.levels
+    steps = elementwise_step_size(weights, fmt)
+    return float(np.sqrt(np.mean(steps**2)))

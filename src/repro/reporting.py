@@ -1,0 +1,82 @@
+"""Human-readable model and analysis reports.
+
+:func:`describe_model` renders the layer table a practitioner checks
+before reduction: per-layer type, shape, parameter count, spectral norm
+and the Table-I step sizes; :func:`describe_analysis` summarizes what the
+error-flow analyzer would answer for every standard format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.errorflow import ErrorFlowAnalyzer
+from .nn.module import Module
+from .quant.formats import STANDARD_FORMATS
+from .quant.quantizer import quantizable_layers
+from .quant.stepsize import average_step_size
+
+__all__ = ["describe_model", "describe_analysis"]
+
+
+def describe_model(model: Module) -> str:
+    """Layer-by-layer report of a trained network.
+
+    Includes every weight-bearing layer's qualified name, class, weight
+    shape, parameter count, effective spectral norm and FP16/INT8 step
+    sizes, plus model totals.
+    """
+    from .nn.spectral import spectral_norm
+
+    lines = [
+        f"{'layer':<28} {'type':<16} {'weight shape':<16} "
+        f"{'params':>8} {'sigma':>8} {'q fp16':>10} {'q int8':>10}"
+    ]
+    total_params = 0
+    for name, layer in quantizable_layers(model):
+        weights = np.asarray(layer.effective_weight(), dtype=np.float64)
+        sigma = getattr(layer, "spectral_alpha", None)
+        if sigma is None:
+            sigma = spectral_norm(weights)
+        weight_param = getattr(layer, "weight", None) or layer.raw_weight
+        params = weight_param.size + (layer.bias.size if layer.bias is not None else 0)
+        total_params += params
+        lines.append(
+            f"{name:<28} {type(layer).__name__:<16} {str(weight_param.shape):<16} "
+            f"{params:>8d} {sigma:>8.3f} "
+            f"{average_step_size(weights, STANDARD_FORMATS['fp16']):>10.2e} "
+            f"{average_step_size(weights, STANDARD_FORMATS['int8']):>10.2e}"
+        )
+    other = model.num_parameters() - total_params
+    lines.append(f"weight parameters: {total_params}   other (bias/norm/psn): {other}")
+    return "\n".join(lines)
+
+
+def describe_analysis(
+    analyzer: ErrorFlowAnalyzer, reference_norm: float | None = None
+) -> str:
+    """Summarize the analyzer's answers for every standard format.
+
+    Parameters
+    ----------
+    analyzer:
+        A (possibly calibrated) error-flow analyzer.
+    reference_norm:
+        Optional QoI norm to express bounds relatively.
+    """
+    lines = [
+        f"layers: {len(analyzer.layer_sigmas())}   "
+        f"Eq.(5) gain: {analyzer.gain():.4g}   "
+        f"calibrated: {analyzer.is_calibrated}"
+    ]
+    header = f"{'format':>6} {'quant bound':>12}"
+    if reference_norm:
+        header += f" {'relative':>10}"
+    lines.append(header)
+    for name in ("tf32", "fp16", "bf16", "int8"):
+        bound = analyzer.quantization_bound(STANDARD_FORMATS[name])
+        row = f"{name:>6} {bound:>12.3e}"
+        if reference_norm:
+            row += f" {bound / reference_norm:>10.3e}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "h2combustion"]) == 0
+    out = capsys.readouterr().out
+    assert "Eq. (5) gain" in out
+    assert "fp16" in out and "int8" in out
+
+
+def test_analyze_calibrated(capsys):
+    assert main(["analyze", "h2combustion", "--calibrate"]) == 0
+    assert "(calibrated)" in capsys.readouterr().out
+
+
+def test_analyze_verbose_layer_report(capsys):
+    assert main(["analyze", "h2combustion", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "SpectralLinear" in out
+    assert "q fp16" in out
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "h2combustion", "--tolerance", "1e-2"]) == 0
+    out = capsys.readouterr().out
+    assert "tol=1.00e-02" in out
+    assert "compression budget" in out
+
+
+def test_pipeline_command(capsys):
+    assert main(
+        ["pipeline", "h2combustion", "--tolerance", "1e-2", "--codec", "sz"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tolerance honoured" in out
+
+
+def test_compress_decompress_roundtrip(tmp_path, capsys, smooth_field_2d):
+    array_path = tmp_path / "field.npy"
+    blob_path = tmp_path / "field.rblob"
+    out_path = tmp_path / "restored.npy"
+    np.save(array_path, smooth_field_2d)
+
+    assert main(
+        [
+            "compress", str(array_path), "--out", str(blob_path),
+            "--codec", "mgard", "--tolerance", "1e-4",
+        ]
+    ) == 0
+    assert "ratio" in capsys.readouterr().out
+
+    assert main(["decompress", str(blob_path), "--out", str(out_path)]) == 0
+    restored = np.load(out_path)
+    assert np.abs(restored - smooth_field_2d).max() <= 1e-4
+
+
+def test_store_command(tmp_path, capsys, smooth_field_2d):
+    from repro.io import DatasetStore
+
+    store = DatasetStore(str(tmp_path))
+    store.put("snapshot", smooth_field_2d, tolerance=1e-3)
+    assert main(["store", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot" in out
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["store", str(empty)]) == 0
+    assert "empty store" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["analyze", "imagenet"])

@@ -1,0 +1,174 @@
+"""Tests shared across the SZ/ZFP/MGARD codecs: the error-bound contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    ErrorBoundMode,
+    MGARDCompressor,
+    SZCompressor,
+    ZFPCompressor,
+    achieved_error,
+    compression_ratio,
+    get_compressor,
+    psnr,
+    verify_tolerance,
+)
+from repro.exceptions import CompressionError, ToleranceError
+
+_ALL_CODECS = [SZCompressor, ZFPCompressor, MGARDCompressor]
+
+
+def _codec_instances():
+    return [cls() for cls in _ALL_CODECS]
+
+
+def _smooth(shape, seed=0, noise=1e-4):
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.linspace(0, 3 * np.pi, s) for s in shape], indexing="ij")
+    field = sum(np.sin((i + 1) * axis) for i, axis in enumerate(axes))
+    return (field + noise * rng.standard_normal(shape)).astype(np.float64)
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+@pytest.mark.parametrize("tolerance", [1e-2, 1e-4, 1e-6])
+def test_abs_bound_honoured(codec, tolerance, smooth_field_2d):
+    reconstruction, blob = codec.roundtrip(smooth_field_2d, tolerance, ErrorBoundMode.ABS)
+    assert achieved_error(smooth_field_2d, reconstruction, ErrorBoundMode.ABS) <= tolerance
+    assert reconstruction.shape == smooth_field_2d.shape
+    assert reconstruction.dtype == smooth_field_2d.dtype
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+@pytest.mark.parametrize("tolerance", [1e-2, 1e-4])
+def test_rel_bound_honoured(codec, tolerance, smooth_field_2d):
+    reconstruction, __ = codec.roundtrip(smooth_field_2d, tolerance, ErrorBoundMode.REL)
+    assert achieved_error(smooth_field_2d, reconstruction, ErrorBoundMode.REL) <= tolerance
+
+
+@pytest.mark.parametrize(
+    "codec", [SZCompressor(), MGARDCompressor()], ids=lambda c: c.name
+)
+@pytest.mark.parametrize("mode", [ErrorBoundMode.L2_ABS, ErrorBoundMode.L2_REL])
+def test_l2_bound_honoured(codec, mode, smooth_field_2d):
+    tolerance = 1e-3 if mode is ErrorBoundMode.L2_REL else 1.0
+    reconstruction, __ = codec.roundtrip(smooth_field_2d, tolerance, mode)
+    assert achieved_error(smooth_field_2d, reconstruction, mode) <= tolerance
+
+
+def test_zfp_rejects_l2_modes(smooth_field_2d):
+    # Paper Fig. 8: "ZFP does not support an L2 norm tolerance."
+    codec = ZFPCompressor()
+    for mode in (ErrorBoundMode.L2_ABS, ErrorBoundMode.L2_REL):
+        with pytest.raises(ToleranceError):
+            codec.compress(smooth_field_2d, 1e-3, mode)
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+def test_ratio_improves_with_looser_tolerance(codec, smooth_field_2d):
+    tight = codec.compress(smooth_field_2d, 1e-5, ErrorBoundMode.REL)
+    loose = codec.compress(smooth_field_2d, 1e-2, ErrorBoundMode.REL)
+    assert loose.compression_ratio > tight.compression_ratio
+    assert loose.compression_ratio > 3.0  # smooth data must compress well
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+@pytest.mark.parametrize(
+    "shape", [(257,), (64, 48), (13, 24, 24), (5, 7)], ids=str
+)
+def test_odd_shapes_roundtrip(codec, shape):
+    field = _smooth(shape)
+    reconstruction, __ = codec.roundtrip(field, 1e-3, ErrorBoundMode.ABS)
+    assert reconstruction.shape == shape
+    assert np.max(np.abs(reconstruction - field)) <= 1e-3
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+def test_float32_input_preserves_dtype_and_bound(codec):
+    field = _smooth((96, 96)).astype(np.float32)
+    reconstruction, __ = codec.roundtrip(field, 1e-4, ErrorBoundMode.ABS)
+    assert reconstruction.dtype == np.float32
+    assert np.max(np.abs(reconstruction.astype(np.float64) - field)) <= 1e-4
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+def test_lossless_fallback_below_dtype_precision(codec):
+    field = _smooth((32, 32)).astype(np.float32)
+    blob = codec.compress(field, 1e-12, ErrorBoundMode.ABS)
+    assert blob.metadata.get("lossless")
+    assert np.array_equal(codec.decompress(blob), field)
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+def test_rejects_non_positive_tolerance(codec, smooth_field_2d):
+    with pytest.raises(ToleranceError):
+        codec.compress(smooth_field_2d, 0.0, ErrorBoundMode.ABS)
+    with pytest.raises(ToleranceError):
+        codec.compress(smooth_field_2d, -1.0, ErrorBoundMode.ABS)
+
+
+@pytest.mark.parametrize("codec", _codec_instances(), ids=lambda c: c.name)
+def test_rejects_foreign_blob(codec, smooth_field_2d):
+    other = SZCompressor() if codec.name != "sz" else ZFPCompressor()
+    blob = other.compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    with pytest.raises(CompressionError):
+        codec.decompress(blob)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    log_tol=st.integers(-6, -1),
+    codec_name=st.sampled_from(["sz", "zfp", "mgard"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_pointwise_bound_random_fields(seed, log_tol, codec_name):
+    """The ABS contract must hold on arbitrary (even rough) data."""
+    rng = np.random.default_rng(seed)
+    field = rng.standard_normal((40, 40)) * rng.uniform(0.1, 10.0)
+    tolerance = 10.0**log_tol
+    codec = get_compressor(codec_name)
+    reconstruction, __ = codec.roundtrip(field, tolerance, ErrorBoundMode.ABS)
+    assert np.max(np.abs(reconstruction - field)) <= tolerance
+
+
+def test_get_compressor_unknown():
+    with pytest.raises(ValueError):
+        get_compressor("lz77")
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def test_achieved_error_modes(smooth_field_2d):
+    noisy = smooth_field_2d + 0.01
+    assert achieved_error(smooth_field_2d, noisy, ErrorBoundMode.ABS) == pytest.approx(0.01, rel=1e-3)
+    rel = achieved_error(smooth_field_2d, noisy, ErrorBoundMode.REL)
+    value_range = smooth_field_2d.max() - smooth_field_2d.min()
+    assert rel == pytest.approx(0.01 / value_range, rel=1e-3)
+
+
+def test_verify_tolerance(smooth_field_2d):
+    assert verify_tolerance(smooth_field_2d, smooth_field_2d, 1e-12, ErrorBoundMode.ABS)
+    assert not verify_tolerance(
+        smooth_field_2d, smooth_field_2d + 1.0, 1e-3, ErrorBoundMode.ABS
+    )
+
+
+def test_psnr_exact_reconstruction_is_infinite(smooth_field_2d):
+    assert psnr(smooth_field_2d, smooth_field_2d) == np.inf
+
+
+def test_psnr_decreases_with_noise(smooth_field_2d, rng):
+    small = psnr(smooth_field_2d, smooth_field_2d + 1e-4 * rng.standard_normal(smooth_field_2d.shape))
+    large = psnr(smooth_field_2d, smooth_field_2d + 1e-2 * rng.standard_normal(smooth_field_2d.shape))
+    assert small > large
+
+
+def test_compression_ratio_metric(smooth_field_2d):
+    codec = SZCompressor()
+    blob = codec.compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    assert compression_ratio(smooth_field_2d, blob) == pytest.approx(
+        blob.compression_ratio, rel=1e-6
+    )

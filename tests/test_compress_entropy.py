@@ -1,0 +1,116 @@
+"""Tests for the bitstream and Huffman entropy-coding stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.bitstream import BitReader, pack_codes
+from repro.compress.huffman import huffman_decode, huffman_encode
+from repro.exceptions import CompressionError
+
+
+# -- bitstream ------------------------------------------------------------------
+
+
+def test_pack_codes_roundtrip_via_reader():
+    values = np.array([0b101, 0b1, 0b11110000], dtype=np.uint64)
+    lengths = np.array([3, 1, 8])
+    payload, total_bits = pack_codes(values, lengths)
+    assert total_bits == 12
+    reader = BitReader(payload, total_bits)
+    assert reader.read(3) == 0b101
+    assert reader.read(1) == 0b1
+    assert reader.read(8) == 0b11110000
+    assert reader.remaining == 0
+
+
+def test_pack_codes_empty():
+    payload, bits = pack_codes(np.array([], dtype=np.uint64), np.array([], dtype=np.int64))
+    assert payload == b"" and bits == 0
+
+
+def test_pack_codes_rejects_mismatched_shapes():
+    with pytest.raises(CompressionError):
+        pack_codes(np.zeros(3, dtype=np.uint64), np.ones(2, dtype=np.int64))
+
+
+def test_pack_codes_rejects_bad_lengths():
+    with pytest.raises(CompressionError):
+        pack_codes(np.zeros(1, dtype=np.uint64), np.array([0]))
+    with pytest.raises(CompressionError):
+        pack_codes(np.zeros(1, dtype=np.uint64), np.array([40]))
+
+
+def test_bitreader_exhaustion():
+    payload, bits = pack_codes(np.array([1], dtype=np.uint64), np.array([1]))
+    reader = BitReader(payload, bits)
+    reader.read(1)
+    with pytest.raises(CompressionError):
+        reader.read(1)
+
+
+def test_bitreader_peek_pads_with_zeros():
+    payload, bits = pack_codes(np.array([0b1], dtype=np.uint64), np.array([1]))
+    reader = BitReader(payload, bits)
+    assert reader.peek16() == 0b1000000000000000
+
+
+# -- huffman -------------------------------------------------------------------
+
+
+@given(
+    data=st.lists(st.integers(-50, 50), min_size=0, max_size=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_huffman_roundtrip(data):
+    symbols = np.asarray(data, dtype=np.int64)
+    assert np.array_equal(huffman_decode(huffman_encode(symbols)), symbols)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_huffman_roundtrip_peaked_distribution(seed):
+    rng = np.random.default_rng(seed)
+    symbols = np.round(rng.standard_normal(5000) * 2).astype(np.int64)
+    assert np.array_equal(huffman_decode(huffman_encode(symbols)), symbols)
+
+
+def test_huffman_escape_path(rng):
+    symbols = np.round(rng.standard_normal(2000) * 2).astype(np.int64)
+    symbols[rng.choice(2000, 20, replace=False)] = rng.integers(-(2**29), 2**29, 20)
+    blob = huffman_encode(symbols, max_alphabet=16)
+    assert np.array_equal(huffman_decode(blob), symbols)
+
+
+def test_huffman_compresses_skewed_data(rng):
+    symbols = np.zeros(10000, dtype=np.int64)
+    symbols[rng.choice(10000, 100, replace=False)] = 1
+    blob = huffman_encode(symbols)
+    assert len(blob) < 10000 * 8 / 20  # > 20x on a near-constant stream
+
+
+def test_huffman_single_symbol():
+    symbols = np.full(100, 7, dtype=np.int64)
+    assert np.array_equal(huffman_decode(huffman_encode(symbols)), symbols)
+
+
+def test_huffman_empty():
+    assert huffman_decode(huffman_encode(np.array([], dtype=np.int64))).size == 0
+
+
+def test_huffman_rejects_oversized_symbols():
+    with pytest.raises(CompressionError):
+        huffman_encode(np.array([2**40], dtype=np.int64))
+
+
+def test_huffman_rejects_bad_magic():
+    with pytest.raises(CompressionError):
+        huffman_decode(b"XXXX" + b"\x00" * 16)
+
+
+def test_huffman_many_distinct_lengths():
+    # Exponentially skewed counts force a wide range of code lengths and
+    # exercise the length-limiting fix-up.
+    symbols = np.concatenate([np.full(2**i, i, dtype=np.int64) for i in range(18)])
+    assert np.array_equal(huffman_decode(huffman_encode(symbols)), symbols)

@@ -1,0 +1,110 @@
+"""Tests for codec extensions: SZ spline modes, ZFP fixed rate, MGARD s."""
+
+import numpy as np
+import pytest
+
+from repro.compress import ErrorBoundMode, MGARDCompressor, SZCompressor, ZFPCompressor
+from repro.exceptions import CompressionError
+
+
+# -- SZ interpolation modes ----------------------------------------------------
+
+
+@pytest.mark.parametrize("interpolation", ["linear", "cubic", "dynamic"])
+def test_sz_interpolation_modes_honour_bound(interpolation, smooth_field_2d):
+    codec = SZCompressor(interpolation=interpolation)
+    for tolerance in (1e-3, 1e-5):
+        reconstruction, __ = codec.roundtrip(smooth_field_2d, tolerance, ErrorBoundMode.ABS)
+        assert np.abs(reconstruction - smooth_field_2d).max() <= tolerance
+
+
+def test_sz_cubic_beats_linear_on_smooth_data(smooth_field_2d):
+    """Higher-order splines are the point of SZ3's dynamic selection."""
+    linear = SZCompressor(interpolation="linear").compress(
+        smooth_field_2d, 1e-3, ErrorBoundMode.ABS
+    )
+    cubic = SZCompressor(interpolation="cubic").compress(
+        smooth_field_2d, 1e-3, ErrorBoundMode.ABS
+    )
+    assert cubic.compression_ratio > linear.compression_ratio * 1.3
+
+
+def test_sz_dynamic_at_least_matches_both(smooth_field_2d):
+    results = {}
+    for interpolation in ("linear", "cubic", "dynamic"):
+        blob = SZCompressor(interpolation=interpolation).compress(
+            smooth_field_2d, 1e-3, ErrorBoundMode.ABS
+        )
+        results[interpolation] = blob.compression_ratio
+    assert results["dynamic"] >= max(results["linear"], results["cubic"]) * 0.95
+
+
+def test_sz_dynamic_choices_travel_in_blob(smooth_field_2d):
+    """A decoder with a different default mode must still decode."""
+    blob = SZCompressor(interpolation="dynamic").compress(
+        smooth_field_2d, 1e-4, ErrorBoundMode.ABS
+    )
+    other = SZCompressor(interpolation="linear")
+    reconstruction = other.decompress(blob)
+    assert np.abs(reconstruction - smooth_field_2d).max() <= 1e-4
+
+
+def test_sz_rejects_unknown_interpolation():
+    with pytest.raises(CompressionError):
+        SZCompressor(interpolation="quintic")
+
+
+def test_sz_dynamic_on_rough_data(rng):
+    """Rough data must still satisfy the contract (linear usually wins)."""
+    rough = rng.standard_normal((64, 64))
+    codec = SZCompressor(interpolation="dynamic")
+    reconstruction, __ = codec.roundtrip(rough, 1e-4, ErrorBoundMode.ABS)
+    assert np.abs(reconstruction - rough).max() <= 1e-4
+
+
+# -- ZFP fixed-rate mode ---------------------------------------------------------
+
+
+def test_zfp_fixed_rate_meets_budget(smooth_field_2d):
+    codec = ZFPCompressor()
+    for bits_per_value in (4.0, 8.0):
+        blob = codec.compress_fixed_rate(smooth_field_2d, bits_per_value)
+        achieved_bpv = 8.0 * blob.nbytes / smooth_field_2d.size
+        assert achieved_bpv <= bits_per_value
+        assert blob.metadata["achieved_bpv"] == pytest.approx(achieved_bpv)
+        # still decodable through the ordinary path
+        reconstruction = codec.decompress(blob)
+        assert reconstruction.shape == smooth_field_2d.shape
+
+
+def test_zfp_fixed_rate_more_bits_more_accuracy(smooth_field_2d):
+    codec = ZFPCompressor()
+    low = codec.decompress(codec.compress_fixed_rate(smooth_field_2d, 3.0))
+    high = codec.decompress(codec.compress_fixed_rate(smooth_field_2d, 10.0))
+    low_error = np.abs(low - smooth_field_2d).max()
+    high_error = np.abs(high - smooth_field_2d).max()
+    assert high_error < low_error
+
+
+def test_zfp_fixed_rate_validation(smooth_field_2d):
+    with pytest.raises(CompressionError):
+        ZFPCompressor().compress_fixed_rate(smooth_field_2d, 0.0)
+
+
+# -- MGARD s-weight -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("s_weight", [0.0, 0.5, 1.0])
+def test_mgard_s_weight_honours_bound(s_weight, smooth_field_2d):
+    codec = MGARDCompressor(s_weight=s_weight)
+    reconstruction, __ = codec.roundtrip(smooth_field_2d, 1e-4, ErrorBoundMode.ABS)
+    assert np.abs(reconstruction - smooth_field_2d).max() <= 1e-4
+
+
+def test_mgard_blob_decodable_by_other_instance(smooth_field_2d):
+    """Blobs are self-describing: depth and weighting travel with them."""
+    producer = MGARDCompressor(n_levels=4, s_weight=1.0)
+    blob = producer.compress(smooth_field_2d, 1e-4, ErrorBoundMode.ABS)
+    consumer = MGARDCompressor()  # different defaults
+    reconstruction = consumer.decompress(blob)
+    assert np.abs(reconstruction - smooth_field_2d).max() <= 1e-4

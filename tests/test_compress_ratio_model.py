@@ -1,0 +1,65 @@
+"""Tests for the entropy-based compression-ratio estimator (ref. [28])."""
+
+import numpy as np
+import pytest
+
+from repro.compress import ErrorBoundMode, RatioEstimator, SZCompressor
+from repro.exceptions import CompressionError
+
+
+@pytest.fixture
+def estimator(smooth_field_2d):
+    return RatioEstimator(smooth_field_2d)
+
+
+def test_ratio_monotone_in_tolerance(estimator):
+    tolerances = np.logspace(-6, -1, 8)
+    ratios = estimator.ratio_curve(tolerances)
+    assert np.all(np.diff(ratios) >= -1e-9)
+    assert ratios[-1] > ratios[0]
+
+
+def test_ratio_tracks_actual_sz(smooth_field_2d, estimator):
+    codec = SZCompressor()
+    for tolerance in (1e-2, 1e-4):
+        predicted = estimator.ratio(tolerance)
+        actual = codec.compress(
+            smooth_field_2d, tolerance, ErrorBoundMode.ABS
+        ).compression_ratio
+        assert predicted == pytest.approx(actual, rel=0.5)
+
+
+def test_ratio_prediction_is_fast(estimator):
+    import time
+
+    start = time.perf_counter()
+    for tolerance in np.logspace(-6, -1, 20):
+        estimator.ratio(float(tolerance))
+    assert time.perf_counter() - start < 1.0
+
+
+def test_bits_per_value_bounded_below(estimator):
+    # even at an absurdly loose tolerance, headers keep bpv positive
+    assert estimator.bits_per_value(1e6) > 0.1
+
+
+def test_escape_regime_at_tight_tolerance(estimator):
+    """Tight bounds spread codes beyond the alphabet: bpv must reflect it."""
+    loose = estimator.bits_per_value(1e-2)
+    tight = estimator.bits_per_value(1e-8)
+    assert tight > 3 * loose
+
+
+def test_estimator_validation(smooth_field_2d, estimator):
+    with pytest.raises(CompressionError):
+        RatioEstimator(np.empty(0))
+    with pytest.raises(CompressionError):
+        estimator.ratio(0.0)
+
+
+def test_estimator_respects_interpolation_mode(smooth_field_2d):
+    linear = RatioEstimator(smooth_field_2d, SZCompressor(interpolation="linear"))
+    dynamic = RatioEstimator(smooth_field_2d, SZCompressor(interpolation="dynamic"))
+    # smooth data: the dynamic (cubic-capable) hierarchy has smaller
+    # residuals, hence better predicted ratios
+    assert dynamic.ratio(1e-3) > linear.ratio(1e-3)

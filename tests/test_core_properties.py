@@ -1,0 +1,94 @@
+"""Property tests on structural invariants of the bound machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ErrorFlowAnalyzer, mlp_combined_bound, sigma_tilde
+from repro.nn import Identity, Linear, Sequential, Tanh
+from repro.nn.spectral import spectral_norm_exact
+from repro.quant import BF16, FP16, INT8
+
+
+@given(
+    sigmas=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=5),
+    q_scale=st.floats(1e-6, 1e-1),
+    dx=st.floats(0.0, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_bound_monotone_in_steps(sigmas, q_scale, dx):
+    """Larger quantization steps can only increase the bound."""
+    n = len(sigmas)
+    dims = [8] * (n + 1)
+    small = [q_scale * 0.5] * n
+    large = [q_scale] * n
+    assert mlp_combined_bound(sigmas, small, dims, dx) <= mlp_combined_bound(
+        sigmas, large, dims, dx
+    ) + 1e-12
+
+
+@given(
+    sigmas=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=5),
+    q=st.floats(0.0, 1e-2),
+    dx=st.floats(0.0, 1.0),
+    index=st.integers(0, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_bound_monotone_in_sigma(sigmas, q, dx, index):
+    """Inflating any layer's spectral norm can only increase the bound."""
+    n = len(sigmas)
+    dims = [8] * (n + 1)
+    steps = [q] * n
+    inflated = list(sigmas)
+    inflated[index % n] *= 1.5
+    assert mlp_combined_bound(sigmas, steps, dims, dx) <= mlp_combined_bound(
+        inflated, steps, dims, dx
+    ) + 1e-12
+
+
+@given(seed=st.integers(0, 2**31 - 1), fmt_index=st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_sigma_tilde_covers_actual_quantized_sigma(seed, fmt_index):
+    """sigma~ must bound the spectral norm of the actually-quantized matrix."""
+    rng = np.random.default_rng(seed)
+    rows, cols = int(rng.integers(2, 40)), int(rng.integers(2, 40))
+    weights = rng.standard_normal((rows, cols)) * rng.uniform(0.05, 3.0)
+    fmt = (FP16, BF16, INT8)[fmt_index]
+    from repro.quant import average_step_size
+
+    q = average_step_size(weights, fmt)
+    quantized = fmt.quantize(weights)
+    actual = spectral_norm_exact(quantized)
+    predicted = sigma_tilde(spectral_norm_exact(weights), q, cols, rows)
+    assert actual <= predicted * (1 + 1e-9)
+
+
+def test_quant_safety_scales_linearly(trained_spectral_mlp):
+    base = ErrorFlowAnalyzer(trained_spectral_mlp)
+    doubled = ErrorFlowAnalyzer(trained_spectral_mlp, quant_safety=2.0)
+    # the first-order term doubles; the sigma~ cross terms make the total
+    # slightly superlinear but still below the naive square
+    ratio = doubled.quantization_bound(FP16) / base.quantization_bound(FP16)
+    assert 2.0 <= ratio < 2.2
+
+
+def test_bound_additivity_structure(trained_spectral_mlp):
+    """Eq. (3) = compression term + quantization term, exactly."""
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp)
+    for dx in (1e-4, 1e-2):
+        combined = analyzer.combined_bound(dx, FP16)
+        separate = analyzer.compression_bound(dx) + analyzer.quantization_bound(FP16)
+        assert combined == pytest.approx(separate, rel=1e-9)
+
+
+def test_deeper_network_larger_quant_bound(rng):
+    """Each appended layer adds a non-negative quantization term."""
+    previous = 0.0
+    layers: list = []
+    for depth in range(1, 5):
+        layers.extend([Linear(8, 8, rng=rng), Tanh()])
+        model = Sequential(*layers[:-1], Identity())
+        bound = ErrorFlowAnalyzer(model).quantization_bound(FP16)
+        assert bound > previous * 0.99
+        previous = bound

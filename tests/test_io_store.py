@@ -1,0 +1,104 @@
+"""Tests for blob serialization and the DatasetStore."""
+
+import numpy as np
+import pytest
+
+from repro.compress import ErrorBoundMode, MGARDCompressor, SZCompressor, ZFPCompressor
+from repro.exceptions import CompressionError
+from repro.io import DatasetStore, blob_from_bytes, blob_to_bytes
+
+
+@pytest.mark.parametrize(
+    "codec", [SZCompressor(), ZFPCompressor(), MGARDCompressor()], ids=lambda c: c.name
+)
+def test_blob_serialization_roundtrip(codec, smooth_field_2d):
+    blob = codec.compress(smooth_field_2d, 1e-4, ErrorBoundMode.ABS)
+    restored = blob_from_bytes(blob_to_bytes(blob))
+    assert restored.codec == blob.codec
+    assert restored.shape == blob.shape
+    assert restored.dtype == blob.dtype
+    assert restored.mode == blob.mode
+    assert restored.tolerance == blob.tolerance
+    assert restored.payload == blob.payload
+    # a *fresh* codec instance must decode the restored blob
+    fresh = type(codec)()
+    reconstruction = fresh.decompress(restored)
+    assert np.abs(reconstruction - smooth_field_2d).max() <= 1e-4
+
+
+def test_blob_from_bytes_rejects_garbage():
+    with pytest.raises(CompressionError):
+        blob_from_bytes(b"NOPE" + b"\x00" * 32)
+
+
+def test_blob_from_bytes_rejects_corrupt_header(smooth_field_2d):
+    blob = SZCompressor().compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    data = bytearray(blob_to_bytes(blob))
+    data[12] ^= 0xFF  # flip a header byte
+    with pytest.raises(CompressionError):
+        blob_from_bytes(bytes(data))
+
+
+def test_store_put_get_roundtrip(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("field", smooth_field_2d, tolerance=1e-4)
+    assert "field" in store
+    loaded = store.get("field")
+    assert loaded.shape == smooth_field_2d.shape
+    assert np.abs(loaded - smooth_field_2d).max() <= 1e-4
+
+
+def test_store_multiple_codecs(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    for codec in ("sz", "zfp", "mgard"):
+        store.put(f"x_{codec}", smooth_field_2d, tolerance=1e-3, codec=codec)
+    assert store.names() == ["x_mgard", "x_sz", "x_zfp"]
+    for name in store.names():
+        assert np.abs(store.get(name) - smooth_field_2d).max() <= 1e-3
+
+
+def test_store_summary_and_sizes(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("a", smooth_field_2d, tolerance=1e-2)
+    rows = store.summary()
+    assert len(rows) == 1
+    name, codec, shape, tolerance, ratio = rows[0]
+    assert name == "a" and codec == "sz"
+    assert shape == smooth_field_2d.shape
+    assert ratio > 1.0
+    assert store.stored_bytes("a") < smooth_field_2d.nbytes
+
+
+def test_store_delete(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("gone", smooth_field_2d, tolerance=1e-2)
+    store.delete("gone")
+    assert "gone" not in store
+    with pytest.raises(CompressionError):
+        store.get("gone")
+
+
+def test_store_rejects_bad_names(tmp_path):
+    store = DatasetStore(str(tmp_path))
+    for bad in ("", "../evil", ".hidden"):
+        with pytest.raises(CompressionError):
+            store.put(bad, np.zeros((4, 4)), tolerance=1e-2)
+
+
+def test_store_overwrite_is_atomic(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("x", smooth_field_2d, tolerance=1e-2)
+    store.put("x", smooth_field_2d * 2.0, tolerance=1e-2)
+    loaded = store.get("x")
+    assert np.abs(loaded - smooth_field_2d * 2.0).max() <= 1e-2 * 2.0 + 1e-2
+    # no stray temp files left behind
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert not leftovers
+
+
+def test_store_l2_mode(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("l2", smooth_field_2d, tolerance=1e-3, mode=ErrorBoundMode.L2_REL)
+    loaded = store.get("l2")
+    achieved = np.linalg.norm(loaded - smooth_field_2d) / np.linalg.norm(smooth_field_2d)
+    assert achieved <= 1e-3

@@ -1,0 +1,108 @@
+"""Tests for activation layers: values, derivatives, Lipschitz constants."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ACTIVATIONS,
+    GELU,
+    Identity,
+    LeakyReLU,
+    PReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    make_activation,
+)
+
+
+def _numeric_derivative(activation, x, eps=1e-6):
+    return (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+def test_registry_instantiates(name):
+    activation = make_activation(name)
+    out = activation(np.linspace(-2, 2, 11))
+    assert out.shape == (11,)
+
+
+def test_make_activation_unknown():
+    with pytest.raises(ValueError, match="unknown activation"):
+        make_activation("swishish")
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+def test_backward_matches_numeric_derivative(name, rng):
+    activation = make_activation(name)
+    x = rng.standard_normal(64)
+    activation.forward(x)
+    analytic = activation.backward(np.ones_like(x))
+    numeric = _numeric_derivative(make_activation(name), x)
+    # Kinks (ReLU at 0) can disagree pointwise; our samples avoid exact 0.
+    assert np.allclose(analytic, numeric, atol=1e-4)
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+def test_lipschitz_bounds_numeric_derivative(name, rng):
+    activation = make_activation(name)
+    x = rng.standard_normal(2000) * 3.0
+    numeric = _numeric_derivative(activation, x)
+    assert np.max(np.abs(numeric)) <= activation.lipschitz + 1e-3
+
+
+def test_relu_values():
+    out = ReLU()(np.array([-1.0, 0.0, 2.0]))
+    assert np.array_equal(out, [0.0, 0.0, 2.0])
+
+
+def test_leaky_relu_slope():
+    layer = LeakyReLU(0.1)
+    out = layer(np.array([-10.0, 10.0]))
+    assert np.allclose(out, [-1.0, 10.0])
+    assert layer.lipschitz == 1.0
+
+
+def test_leaky_relu_lipschitz_above_one():
+    assert LeakyReLU(2.0).lipschitz == 2.0
+
+
+def test_prelu_learns_slope(rng):
+    layer = PReLU(init_slope=0.2)
+    x = np.array([[-2.0, 3.0]])
+    layer(x)
+    layer.backward(np.ones_like(x))
+    # gradient wrt slope is sum over negative inputs of grad * x = -2
+    assert np.isclose(layer.slope.grad[0], -2.0)
+
+
+def test_prelu_lipschitz_tracks_slope():
+    layer = PReLU(init_slope=1.5)
+    assert layer.lipschitz == 1.5
+    layer.slope.data[0] = 0.3
+    assert layer.lipschitz == 1.0
+
+
+def test_tanh_bounded():
+    out = Tanh()(np.array([-100.0, 100.0]))
+    assert np.allclose(out, [-1.0, 1.0])
+
+
+def test_sigmoid_lipschitz_quarter():
+    assert Sigmoid().lipschitz == 0.25
+
+
+def test_gelu_matches_reference():
+    from scipy import special
+
+    x = np.linspace(-4, 4, 101)
+    exact = 0.5 * x * (1.0 + special.erf(x / np.sqrt(2.0)))
+    approx = GELU()(x)
+    assert np.allclose(approx, exact, atol=2e-3)
+
+
+def test_identity_passthrough(rng):
+    x = rng.standard_normal(10)
+    layer = Identity()
+    assert np.array_equal(layer(x), x)
+    assert np.array_equal(layer.backward(x), x)

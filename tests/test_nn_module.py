@@ -1,0 +1,108 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Tanh
+
+
+class _Branchy(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8)
+        self.second = Linear(8, 2)
+        self.gain = Parameter(np.ones(1))
+
+
+def test_parameter_defaults_to_float32():
+    param = Parameter(np.arange(4))
+    assert param.data.dtype == np.float32
+    assert param.grad.shape == (4,)
+    assert param.requires_grad
+
+
+def test_parameter_keeps_float64():
+    param = Parameter(np.zeros(3, dtype=np.float64))
+    assert param.data.dtype == np.float64
+
+
+def test_parameter_zero_grad():
+    param = Parameter(np.ones(3))
+    param.grad += 5.0
+    param.zero_grad()
+    assert np.all(param.grad == 0.0)
+
+
+def test_named_parameters_are_qualified():
+    model = _Branchy()
+    names = {name for name, __ in model.named_parameters()}
+    assert "gain" in names
+    assert "first.weight" in names
+    assert "first.bias" in names
+    assert "second.weight" in names
+
+
+def test_parameters_counts_submodules():
+    model = _Branchy()
+    assert len(list(model.parameters())) == 5
+
+
+def test_num_parameters():
+    model = _Branchy()
+    expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+    assert model.num_parameters() == expected
+
+
+def test_train_eval_propagates():
+    model = Sequential(Linear(3, 3), ReLU(), Sequential(Linear(3, 3), Tanh()))
+    model.eval()
+    assert all(not module.training for module in model.modules())
+    model.train()
+    assert all(module.training for module in model.modules())
+
+
+def test_zero_grad_clears_all():
+    model = _Branchy()
+    for param in model.parameters():
+        param.grad += 1.0
+    model.zero_grad()
+    assert all(np.all(param.grad == 0) for param in model.parameters())
+
+
+def test_state_dict_roundtrip():
+    model = _Branchy()
+    state = model.state_dict()
+    clone = _Branchy()
+    clone.load_state_dict(state)
+    for (__, original), (__, loaded) in zip(model.named_parameters(), clone.named_parameters()):
+        assert np.array_equal(original.data, loaded.data)
+
+
+def test_state_dict_is_a_copy():
+    model = _Branchy()
+    state = model.state_dict()
+    state["gain"][...] = 99.0
+    assert model.gain.data[0] == 1.0
+
+
+def test_load_state_dict_rejects_missing_keys():
+    model = _Branchy()
+    state = model.state_dict()
+    del state["gain"]
+    with pytest.raises(ShapeError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_bad_shape():
+    model = _Branchy()
+    state = model.state_dict()
+    state["gain"] = np.zeros(7)
+    with pytest.raises(ShapeError):
+        model.load_state_dict(state)
+
+
+def test_register_module_for_lists():
+    container = Module()
+    container.register_module("layer0", Linear(2, 2))
+    assert len(list(container.parameters())) == 2

@@ -1,0 +1,112 @@
+"""Tests for learning-rate schedulers and the trainer's new knobs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    Linear,
+    MSELoss,
+    Parameter,
+    SGD,
+    Sequential,
+    StepLR,
+    Tanh,
+    Trainer,
+)
+
+
+def _optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+# -- StepLR -----------------------------------------------------------------
+
+
+def test_step_lr_decays_at_boundaries():
+    optimizer = _optimizer(lr=1.0)
+    scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+    rates = [scheduler.step() for __ in range(6)]
+    assert rates == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+
+
+def test_step_lr_validation():
+    with pytest.raises(ConfigurationError):
+        StepLR(_optimizer(), step_size=0)
+    with pytest.raises(ConfigurationError):
+        StepLR(_optimizer(), step_size=2, gamma=1.5)
+
+
+# -- cosine ------------------------------------------------------------------
+
+
+def test_cosine_reaches_min_lr():
+    optimizer = _optimizer(lr=1.0)
+    scheduler = CosineAnnealingLR(optimizer, t_max=10, min_lr=0.01)
+    rates = [scheduler.step() for __ in range(12)]
+    assert rates[0] < 1.0
+    assert rates[9] == pytest.approx(0.01)
+    assert rates[11] == pytest.approx(0.01)  # clamps past t_max
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+def test_cosine_validation():
+    with pytest.raises(ConfigurationError):
+        CosineAnnealingLR(_optimizer(), t_max=0)
+    with pytest.raises(ConfigurationError):
+        CosineAnnealingLR(_optimizer(), t_max=5, min_lr=-1.0)
+
+
+# -- trainer integration ---------------------------------------------------------
+
+
+def _toy_problem(rng):
+    model = Sequential(Linear(3, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+    inputs = rng.uniform(-1, 1, (128, 3)).astype(np.float32)
+    targets = np.tanh(inputs @ rng.standard_normal((3, 2))).astype(np.float32)
+    return model, inputs, targets
+
+
+def test_trainer_steps_scheduler(rng):
+    model, inputs, targets = _toy_problem(rng)
+    optimizer = SGD(model.parameters(), lr=0.1)
+    scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+    trainer = Trainer(model, MSELoss(), optimizer, scheduler=scheduler)
+    trainer.fit(inputs, targets, epochs=3, batch_size=32, rng=rng)
+    assert optimizer.lr == pytest.approx(0.1 * 0.5**3)
+
+
+def test_trainer_grad_clip_bounds_updates(rng):
+    model, inputs, targets = _toy_problem(rng)
+    trainer = Trainer(
+        model, MSELoss(), SGD(model.parameters(), lr=0.1), grad_clip=1e-9
+    )
+    before = model.state_dict()
+    trainer.fit(inputs, targets, epochs=1, batch_size=32, rng=rng)
+    after = model.state_dict()
+    # clipped to nearly-zero gradient norm: weights barely move
+    for key in before:
+        assert np.allclose(before[key], after[key], atol=1e-8)
+
+
+def test_trainer_early_stopping(rng):
+    model, inputs, targets = _toy_problem(rng)
+    # lr=0 means validation loss never improves -> stop after `patience`
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=1e-12), patience=2
+    )
+    history = trainer.fit(
+        inputs, targets, epochs=50, batch_size=32,
+        val_inputs=inputs, val_targets=targets, rng=rng,
+    )
+    assert history.epochs <= 4
+
+
+def test_trainer_knob_validation(rng):
+    model, __, __ = _toy_problem(rng)
+    with pytest.raises(TrainingError):
+        Trainer(model, MSELoss(), SGD(model.parameters(), lr=0.1), grad_clip=0.0)
+    with pytest.raises(TrainingError):
+        Trainer(model, MSELoss(), SGD(model.parameters(), lr=0.1), patience=0)

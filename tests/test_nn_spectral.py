@@ -1,0 +1,71 @@
+"""Tests for spectral-norm estimation and parameterized spectral norm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import PowerIterationState, spectral_norm, spectral_norm_exact
+from repro.nn.linear import SpectralLinear
+
+
+@given(
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_power_iteration_matches_svd(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((rows, cols))
+    estimate = spectral_norm(matrix, n_iterations=500, tol=1e-12)
+    exact = spectral_norm_exact(matrix)
+    assert np.isclose(estimate, exact, rtol=1e-5, atol=1e-9)
+
+
+def test_spectral_norm_zero_matrix():
+    assert spectral_norm(np.zeros((4, 4))) == 0.0
+    assert spectral_norm_exact(np.zeros((4, 4))) == 0.0
+
+
+def test_spectral_norm_empty_matrix():
+    assert spectral_norm(np.zeros((0, 3))) == 0.0
+
+
+def test_spectral_norm_rejects_non_2d():
+    with pytest.raises(ValueError):
+        spectral_norm(np.zeros((2, 2, 2)))
+
+
+def test_spectral_norm_rank_one():
+    u = np.array([3.0, 4.0])
+    v = np.array([1.0, 0.0, 0.0])
+    matrix = np.outer(u, v)
+    assert np.isclose(spectral_norm(matrix), 5.0, rtol=1e-8)
+
+
+def test_power_iteration_state_tracks_sigma(rng):
+    matrix = rng.standard_normal((8, 8))
+    state = PowerIterationState.for_matrix(matrix, rng)
+    sigma = state.step(matrix, n_steps=300)
+    assert np.isclose(sigma, spectral_norm_exact(matrix), rtol=1e-6)
+
+
+def test_power_iteration_zero_matrix(rng):
+    state = PowerIterationState.for_matrix(np.ones((3, 3)), rng)
+    assert state.step(np.zeros((3, 3))) == 0.0
+
+
+def test_spectral_linear_alpha_is_exact_spectral_norm(rng):
+    for alpha in (0.5, 1.0, 2.5):
+        layer = SpectralLinear(16, 12, rng=rng, alpha_init=alpha)
+        sigma = spectral_norm_exact(layer.effective_weight())
+        assert np.isclose(sigma, alpha, rtol=1e-6)
+
+
+def test_spectral_linear_invariant_survives_training(trained_spectral_mlp):
+    """After real training, sigma(W_eff) == alpha for every PSN layer."""
+    for layer in trained_spectral_mlp:
+        if isinstance(layer, SpectralLinear):
+            sigma = spectral_norm_exact(layer.effective_weight())
+            assert np.isclose(sigma, layer.spectral_alpha, rtol=1e-5)

@@ -1,0 +1,80 @@
+"""Tests on the package surface: exceptions, exports, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CompressionError,
+    ConfigurationError,
+    PlanningError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    ToleranceError,
+    TrainingError,
+)
+
+_SUBPACKAGES = (
+    "repro.nn",
+    "repro.quant",
+    "repro.compress",
+    "repro.core",
+    "repro.physics",
+    "repro.datasets",
+    "repro.models",
+    "repro.perf",
+    "repro.io",
+)
+
+
+def test_every_library_error_derives_from_repro_error():
+    for exc in (
+        CompressionError,
+        ConfigurationError,
+        PlanningError,
+        QuantizationError,
+        ShapeError,
+        ToleranceError,
+        TrainingError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_also_value_errors():
+    """Callers catching ValueError keep working for validation failures."""
+    for exc in (ShapeError, ConfigurationError, ToleranceError, PlanningError):
+        assert issubclass(exc, ValueError)
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module_name", _SUBPACKAGES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", _SUBPACKAGES)
+def test_public_callables_have_docstrings(module_name):
+    """Every public class and function carries documentation."""
+    module = importlib.import_module(module_name)
+    missing = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                missing.append(name)
+    assert not missing, f"{module_name}: missing docstrings on {missing}"
+
+
+def test_top_level_convenience_exports():
+    assert repro.load_workload is not None
+    assert repro.TolerancePlanner is not None
+    assert repro.InferencePipeline is not None
+    assert repro.ErrorFlowAnalyzer is not None
