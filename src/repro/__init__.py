@@ -21,7 +21,7 @@ Quick start::
     assert result.qoi_error("linf", relative=False) <= 1e-3
 """
 
-from . import compress, core, datasets, io, models, nn, perf, physics, quant
+from . import compress, core, datasets, io, models, nn, perf, physics, quant, resilience
 from .core import (
     ErrorFlowAnalyzer,
     InferencePipeline,
@@ -33,6 +33,8 @@ from .core import (
 from .exceptions import (
     CompressionError,
     ConfigurationError,
+    ContractViolation,
+    IntegrityError,
     PlanningError,
     QuantizationError,
     ReproError,
@@ -40,6 +42,7 @@ from .exceptions import (
     ToleranceError,
     TrainingError,
 )
+from .resilience import CorruptionPolicy
 from .workloads import VARIANTS, WORKLOAD_NAMES, TrainedWorkload, load_workload
 
 __version__ = "1.0.0"
@@ -47,7 +50,10 @@ __version__ = "1.0.0"
 __all__ = [
     "CompressionError",
     "ConfigurationError",
+    "ContractViolation",
+    "CorruptionPolicy",
     "ErrorFlowAnalyzer",
+    "IntegrityError",
     "InferencePipeline",
     "InferencePlan",
     "PipelineResult",
@@ -73,4 +79,5 @@ __all__ = [
     "physics",
     "probe_sensitivity",
     "quant",
+    "resilience",
 ]

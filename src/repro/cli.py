@@ -22,6 +22,7 @@ import numpy as np
 from . import __version__
 from .compress import ErrorBoundMode, get_compressor
 from .core import InferencePipeline, TolerancePlanner
+from .exceptions import ReproError
 from .io import DatasetStore, blob_from_bytes, blob_to_bytes
 from .quant import STANDARD_FORMATS
 from .workloads import WORKLOAD_NAMES, load_workload
@@ -176,7 +177,11 @@ _HANDLERS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -8,12 +8,14 @@ that as a per-codec ``supported_modes`` set.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
-from ..exceptions import CompressionError, ToleranceError
+from ..exceptions import CompressionError, IntegrityError, ToleranceError
 
 __all__ = [
     "ErrorBoundMode",
@@ -125,6 +127,33 @@ class CompressedBlob:
             return float("inf")
         return self.original_nbytes / self.nbytes
 
+    @property
+    def payload_crc32(self) -> int:
+        """CRC32 of the payload bytes (used by the v2 wire format)."""
+        return zlib.crc32(self.payload)
+
+    def validate(self) -> "CompressedBlob":
+        """Cheap structural sanity checks; raises a typed error on failure.
+
+        Verifies the dtype parses, the shape is non-negative, and — for
+        lossless payloads — that the payload length matches the geometry
+        exactly.  Returns the blob so it can be used inline.
+        """
+        try:
+            itemsize = np.dtype(self.dtype).itemsize
+        except TypeError as exc:
+            raise CompressionError(f"blob has invalid dtype {self.dtype!r}") from exc
+        if any((not isinstance(v, (int, np.integer))) or v < 0 for v in self.shape):
+            raise CompressionError(f"blob has invalid shape {self.shape!r}")
+        if self.metadata.get("lossless"):
+            expected = int(np.prod(self.shape)) * itemsize
+            if len(self.payload) != expected:
+                raise IntegrityError(
+                    f"lossless payload is {len(self.payload)} bytes but shape "
+                    f"{self.shape} × dtype {self.dtype} requires {expected}"
+                )
+        return self
+
 
 class Compressor:
     """Abstract error-bounded lossy compressor."""
@@ -178,7 +207,40 @@ class Compressor:
 
     @staticmethod
     def _decompress_lossless(blob: CompressedBlob) -> np.ndarray:
+        blob.validate()
         return np.frombuffer(blob.payload, dtype=blob.dtype).reshape(blob.shape).copy()
+
+    def safe_decompress(self, blob: CompressedBlob, screen: bool = True) -> np.ndarray:
+        """Decompress with integrity protection around the raw codec.
+
+        Structural blob validation runs first, codec-internal failures
+        (truncated payloads surfacing as ``struct``/``ValueError``/
+        ``IndexError``) are converted to :class:`CompressionError`, and
+        the reconstruction is optionally screened for NaN/Inf.  This is
+        the entry point :class:`~repro.io.store.DatasetStore` and the
+        pipeline use on every read.
+        """
+        from ..resilience.guards import screen_finite
+
+        self._check_blob(blob)
+        blob.validate()
+        try:
+            data = self.decompress(blob)
+        except CompressionError:
+            raise
+        except (ValueError, KeyError, IndexError, TypeError, EOFError, struct.error) as exc:
+            raise CompressionError(
+                f"codec {self.name!r} failed to decode blob "
+                f"(shape {blob.shape}, {blob.nbytes} payload bytes): {exc}"
+            ) from exc
+        if data.shape != tuple(blob.shape):
+            raise IntegrityError(
+                f"codec {self.name!r} reconstructed shape {data.shape}, "
+                f"blob header promised {tuple(blob.shape)}"
+            )
+        if screen:
+            screen_finite(data, stage="decompress")
+        return data
 
     def roundtrip(
         self,

@@ -6,6 +6,14 @@ The pipeline wires a plan from :class:`~repro.core.planner.TolerancePlanner`
 to a codec and a quantized model, measures wall-clock stage timings and
 achieved errors, and verifies that the end-to-end QoI error stays inside
 the user's tolerance — the paper's central claim.
+
+Runtime guards make that claim *checked*, not assumed: decompressed
+inputs and QoI outputs are screened for NaN/Inf, and the achieved input
+error is compared against the planned tolerance, raising a structured
+:class:`~repro.exceptions.ContractViolation` on breach.  A configurable
+``on_corruption`` policy (``raise`` / ``recompress-from-source`` /
+``fallback-lossless``) lets one corrupt decompression degrade a run
+instead of killing it.
 """
 
 from __future__ import annotations
@@ -16,9 +24,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
-from ..exceptions import PlanningError
+from ..exceptions import CompressionError, IntegrityError, PlanningError
 from ..nn.module import Module
 from ..quant.quantizer import QuantizedModel, quantize_model
+from ..resilience.guards import check_contract, screen_finite
+from ..resilience.policy import CorruptionPolicy, resolve_policy
 from .planner import InferencePlan
 
 __all__ = ["PipelineResult", "InferencePipeline"]
@@ -73,12 +83,35 @@ class InferencePipeline:
     plan:
         Allocation produced by the planner; fixes the weight format and
         the compressor tolerance.
+    on_corruption:
+        Reaction when a decompressed input fails integrity screening:
+        ``"raise"`` (default) propagates the typed error;
+        ``"recompress-from-source"`` re-compresses the source fields and
+        retries (bounded by ``max_retries``); ``"fallback-lossless"``
+        swaps in a lossless blob of the source fields.
+    max_retries:
+        Recompression attempts before falling through to a lossless blob
+        (recompress policy) or the error (raise policy).
+    screen:
+        Disable to skip NaN/Inf screening and contract checking
+        (measurement-only runs on data known to be dirty).
     """
 
-    def __init__(self, model: Module, codec: Compressor, plan: InferencePlan) -> None:
+    def __init__(
+        self,
+        model: Module,
+        codec: Compressor,
+        plan: InferencePlan,
+        on_corruption: "CorruptionPolicy | str" = CorruptionPolicy.RAISE,
+        max_retries: int = 1,
+        screen: bool = True,
+    ) -> None:
         self.model = model
         self.codec = codec
         self.plan = plan
+        self.on_corruption = resolve_policy(on_corruption)
+        self.max_retries = int(max_retries)
+        self.screen = screen
         self.quantized: QuantizedModel = quantize_model(model, plan.fmt)
         self._mode = self._select_mode()
 
@@ -97,8 +130,56 @@ class InferencePipeline:
         return self.codec.compress(fields, self.plan.input_tolerance, self._mode)
 
     def load(self, blob: CompressedBlob) -> np.ndarray:
-        """Decompress fields back into network-ready arrays."""
-        return self.codec.decompress(blob)
+        """Decompress fields back into network-ready arrays (screened)."""
+        return self.codec.safe_decompress(blob, screen=self.screen)
+
+    def _lossless_blob(self, fields: np.ndarray) -> CompressedBlob:
+        """Degraded-mode blob: source fields stored uncompressed."""
+        fields = np.asarray(fields)
+        return CompressedBlob(
+            codec=self.codec.name,
+            payload=np.ascontiguousarray(fields).tobytes(),
+            shape=fields.shape,
+            dtype=str(fields.dtype),
+            mode=self._mode,
+            tolerance=float(self.plan.input_tolerance),
+            metadata={"lossless": True, "degraded": True},
+        )
+
+    def _store_and_load(self, fields: np.ndarray) -> tuple[CompressedBlob, np.ndarray, float, float, int]:
+        """Compress + decompress under the degradation policy.
+
+        Returns ``(blob, reconstruction, compress_s, decompress_s,
+        recoveries)`` where ``recoveries`` counts policy activations.
+        """
+        recoveries = 0
+        failure: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            start = time.perf_counter()
+            blob = self.store(fields)
+            compress_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            try:
+                reconstructed = self.load(blob)
+                return blob, reconstructed, compress_seconds, time.perf_counter() - start, recoveries
+            except (IntegrityError, CompressionError) as exc:
+                if self.on_corruption is CorruptionPolicy.RAISE:
+                    raise
+                failure = exc
+                recoveries += 1
+                if self.on_corruption is CorruptionPolicy.FALLBACK_LOSSLESS:
+                    break
+        # recompression kept failing (or the policy is lossless): degrade.
+        blob = self._lossless_blob(fields)
+        start = time.perf_counter()
+        try:
+            reconstructed = self.load(blob)
+        except (IntegrityError, CompressionError) as exc:
+            raise IntegrityError(
+                "pipeline could not recover a clean reconstruction even "
+                f"losslessly (policy {self.on_corruption.value!r}): {exc}"
+            ) from (failure or exc)
+        return blob, reconstructed, 0.0, time.perf_counter() - start, recoveries
 
     def execute(
         self,
@@ -120,18 +201,18 @@ class InferencePipeline:
         -------
         PipelineResult
             Outputs, reference (uncompressed FP32) outputs, timings and
-            achieved input errors.
+            achieved input errors.  ``extra["integrity"]`` records what
+            the guards observed.
         """
         if samples_from_fields is None:
             samples_from_fields = lambda f: f.reshape(f.shape[0], -1).T.astype(np.float32)  # noqa: E731
 
-        start = time.perf_counter()
-        blob = self.store(fields)
-        compress_seconds = time.perf_counter() - start
+        if self.screen:
+            screen_finite(fields, stage="source", name="fields")
 
-        start = time.perf_counter()
-        reconstructed = self.load(blob)
-        decompress_seconds = time.perf_counter() - start
+        blob, reconstructed, compress_seconds, decompress_seconds, recoveries = (
+            self._store_and_load(fields)
+        )
 
         samples = samples_from_fields(reconstructed)
         start = time.perf_counter()
@@ -141,6 +222,42 @@ class InferencePipeline:
         self.model.eval()
         reference = self.model(samples_from_fields(fields))
         delta = samples_from_fields(fields) - samples
+        input_error_linf = float(np.abs(delta).max()) if delta.size else 0.0
+        input_error_l2_max = (
+            float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0
+        )
+
+        integrity: dict = {
+            "screened": self.screen,
+            "policy": self.on_corruption.value,
+            "recoveries": recoveries,
+            "degraded": bool(blob.metadata.get("degraded", False)),
+        }
+        if self.screen:
+            screen_finite(outputs, stage="qoi", name="outputs")
+            # The codec's contract is over the stored field array in its
+            # native dtype — measure it there, not after the sample cast.
+            field_delta = np.asarray(fields, dtype=np.float64) - np.asarray(
+                reconstructed, dtype=np.float64
+            )
+            if self._mode.is_pointwise:
+                achieved = float(np.abs(field_delta).max()) if field_delta.size else 0.0
+            else:
+                achieved = float(np.linalg.norm(field_delta))
+            integrity["input_contract"] = {
+                "norm": self.plan.norm,
+                "expected": float(self.plan.input_tolerance),
+                "achieved": achieved,
+            }
+            check_contract(
+                achieved,
+                self.plan.input_tolerance,
+                codec=self.codec.name,
+                stage="decompress",
+                norm=self.plan.norm,
+                slack=1e-9,
+            )
+
         return PipelineResult(
             outputs=outputs,
             reference_outputs=reference,
@@ -149,6 +266,7 @@ class InferencePipeline:
             compress_seconds=compress_seconds,
             decompress_seconds=decompress_seconds,
             inference_seconds=inference_seconds,
-            input_error_linf=float(np.abs(delta).max()) if delta.size else 0.0,
-            input_error_l2_max=float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0,
+            input_error_linf=input_error_linf,
+            input_error_l2_max=input_error_l2_max,
+            extra={"integrity": integrity},
         )

@@ -4,20 +4,43 @@ A :class:`~repro.compress.base.CompressedBlob` becomes a self-contained
 byte string: magic, JSON header (codec, shape, dtype, mode, tolerance,
 metadata) and the raw payload.  Everything a decoder needs travels inside
 the file, so blobs written by one process decode anywhere.
+
+Two wire versions exist:
+
+* **v1** (legacy): ``RBLB | u16 version | u32 header_len | header | payload``.
+  No integrity protection; still readable for backward compatibility.
+* **v2** (default): ``RBLB | u16 version | u32 header_len | u32 crc32 |
+  header | payload`` where the CRC32 covers ``header + payload``.  Any
+  bit flip or truncation anywhere after the prelude is detected on read
+  and surfaced as :class:`~repro.exceptions.IntegrityError` — corrupted
+  bytes can never silently reach a codec.
+
+Every malformed input raises a typed :class:`CompressionError` (or its
+:class:`IntegrityError` subclass); ``struct.error``/``KeyError``/
+``IndexError`` never escape this module.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 from ..compress.base import CompressedBlob, ErrorBoundMode
-from ..exceptions import CompressionError
+from ..exceptions import CompressionError, IntegrityError
 
-__all__ = ["blob_to_bytes", "blob_from_bytes"]
+__all__ = ["blob_to_bytes", "blob_from_bytes", "BLOB_MAGIC", "BLOB_VERSION"]
 
 _MAGIC = b"RBLB"
-_VERSION = 1
+_VERSION = 2
+_PRELUDE_V1 = struct.Struct("<HI")  # version, header length
+_PRELUDE_V2 = struct.Struct("<HII")  # version, header length, crc32(header+payload)
+
+#: public aliases (used by the fault-injection harness and docs)
+BLOB_MAGIC = _MAGIC
+BLOB_VERSION = _VERSION
+
+_REQUIRED_HEADER_KEYS = ("codec", "shape", "dtype", "mode", "tolerance")
 
 
 def _jsonable_metadata(metadata: dict) -> dict:
@@ -31,8 +54,13 @@ def _jsonable_metadata(metadata: dict) -> dict:
     return out
 
 
-def blob_to_bytes(blob: CompressedBlob) -> bytes:
-    """Serialize a blob into a self-contained byte string."""
+def blob_to_bytes(blob: CompressedBlob, version: int = _VERSION) -> bytes:
+    """Serialize a blob into a self-contained byte string.
+
+    ``version=2`` (the default) embeds a CRC32 over header+payload so
+    readers detect corruption; ``version=1`` writes the legacy
+    unprotected layout (useful for compatibility testing).
+    """
     header = {
         "codec": blob.codec,
         "shape": list(blob.shape),
@@ -42,35 +70,106 @@ def blob_to_bytes(blob: CompressedBlob) -> bytes:
         "metadata": _jsonable_metadata(blob.metadata),
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    return (
-        _MAGIC
-        + struct.pack("<HI", _VERSION, len(header_bytes))
-        + header_bytes
-        + blob.payload
-    )
+    if version == 1:
+        prelude = _PRELUDE_V1.pack(1, len(header_bytes))
+    elif version == 2:
+        crc = zlib.crc32(header_bytes)
+        crc = zlib.crc32(blob.payload, crc)
+        prelude = _PRELUDE_V2.pack(2, len(header_bytes), crc)
+    else:
+        raise CompressionError(f"cannot write blob version {version}")
+    return _MAGIC + prelude + header_bytes + blob.payload
+
+
+def _parse_header(raw: bytes) -> dict:
+    """Decode and validate the JSON header; typed errors only."""
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CompressionError(f"corrupt blob header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CompressionError("corrupt blob header: not a JSON object")
+    missing = [key for key in _REQUIRED_HEADER_KEYS if key not in header]
+    if missing:
+        raise CompressionError(f"blob header missing required keys {missing}")
+    if not isinstance(header["shape"], list) or not all(
+        isinstance(v, int) and v >= 0 for v in header["shape"]
+    ):
+        raise CompressionError(f"blob header has invalid shape {header['shape']!r}")
+    try:
+        header["mode"] = ErrorBoundMode(header["mode"])
+    except ValueError as exc:
+        raise CompressionError(f"blob header has unknown mode: {exc}") from exc
+    try:
+        header["tolerance"] = float(header["tolerance"])
+    except (TypeError, ValueError) as exc:
+        raise CompressionError(f"blob header has invalid tolerance: {exc}") from exc
+    if not isinstance(header.get("codec"), str) or not isinstance(
+        header.get("dtype"), str
+    ):
+        raise CompressionError("blob header codec/dtype must be strings")
+    metadata = header.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise CompressionError("blob header metadata must be an object")
+    header["metadata"] = metadata
+    return header
 
 
 def blob_from_bytes(data: bytes) -> CompressedBlob:
-    """Reconstruct a blob from :func:`blob_to_bytes` output."""
-    if data[:4] != _MAGIC:
+    """Reconstruct a blob from :func:`blob_to_bytes` output.
+
+    Reads both wire versions; v2 blobs are checksum-verified and raise
+    :class:`IntegrityError` on any mismatch.
+    """
+    data = bytes(data)
+    if len(data) < 4 or data[:4] != _MAGIC:
         raise CompressionError("not a repro blob (bad magic)")
-    version, header_length = struct.unpack_from("<HI", data, 4)
-    if version != _VERSION:
+    if len(data) < 4 + 2:
+        raise IntegrityError(
+            f"truncated blob: {len(data)} bytes is too short for a version field"
+        )
+    (version,) = struct.unpack_from("<H", data, 4)
+    if version == 1:
+        prelude, checksum = _PRELUDE_V1, None
+    elif version == 2:
+        prelude, checksum = _PRELUDE_V2, 0
+    else:
         raise CompressionError(f"unsupported blob version {version}")
-    offset = 4 + struct.calcsize("<HI")
-    try:
-        header = json.loads(data[offset : offset + header_length].decode("utf-8"))
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise CompressionError(f"corrupt blob header: {exc}") from exc
-    metadata = header.get("metadata", {})
+    offset = 4 + prelude.size
+    if len(data) < offset:
+        raise IntegrityError(
+            f"truncated blob: {len(data)} bytes is too short for a "
+            f"v{version} prelude ({offset} bytes)"
+        )
+    if version == 1:
+        __, header_length = prelude.unpack_from(data, 4)
+    else:
+        __, header_length, checksum = prelude.unpack_from(data, 4)
+    if offset + header_length > len(data):
+        raise IntegrityError(
+            f"truncated blob: header claims {header_length} bytes but only "
+            f"{len(data) - offset} remain after the prelude"
+        )
+    header_bytes = data[offset : offset + header_length]
+    payload = data[offset + header_length :]
+    if checksum is not None:
+        actual = zlib.crc32(header_bytes)
+        actual = zlib.crc32(payload, actual)
+        if actual != checksum:
+            raise IntegrityError(
+                f"blob checksum mismatch: stored {checksum:#010x}, "
+                f"computed {actual:#010x} — data corrupted on disk or in transit"
+            )
+    header = _parse_header(header_bytes)
+    metadata = header["metadata"]
     if "padded_shape" in metadata:
         metadata["padded_shape"] = tuple(metadata["padded_shape"])
     return CompressedBlob(
         codec=header["codec"],
-        payload=data[offset + header_length :],
+        payload=payload,
         shape=tuple(header["shape"]),
         dtype=header["dtype"],
-        mode=ErrorBoundMode(header["mode"]),
-        tolerance=float(header["tolerance"]),
+        mode=header["mode"],
+        tolerance=header["tolerance"],
         metadata=metadata,
     )

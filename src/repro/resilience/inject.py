@@ -1,0 +1,191 @@
+"""Deterministic fault injection for blobs, cache files and arrays.
+
+On production HPC storage silent data corruption is an expected event,
+not an exception.  This module provides the corruption *generators* the
+test suite uses to prove the integrity layer catches every class it
+claims to: bit flips, truncations, header tampering and NaN/Inf
+poisoning.  All injectors are pure functions of their arguments — the
+same call always produces the same corruption — so failures reproduce
+exactly.
+
+Byte-level injectors take and return ``bytes``; array injectors take and
+return ``np.ndarray`` copies; :func:`corrupt_file` lifts any byte-level
+injector onto a file path (atomically, so a crashed injector never
+leaves a torn file — the harness must not itself be a corruption
+source).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "flip_bit",
+    "truncate",
+    "corrupt_magic",
+    "corrupt_version",
+    "corrupt_header_byte",
+    "corrupt_payload_byte",
+    "poison_nan",
+    "poison_inf",
+    "corrupt_file",
+    "blob_corruptions",
+    "FaultInjector",
+]
+
+# v2 prelude: 4 magic + 2 version + 4 header_len + 4 crc32
+_V2_PRELUDE = 14
+
+
+# -- byte-level injectors ---------------------------------------------------
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Flip one bit of ``data`` (bit 0 = LSB of byte 0)."""
+    if not 0 <= bit_index < 8 * len(data):
+        raise ConfigurationError(
+            f"bit index {bit_index} out of range for {len(data)} bytes"
+        )
+    out = bytearray(data)
+    out[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(out)
+
+
+def truncate(data: bytes, length: int) -> bytes:
+    """Keep only the first ``length`` bytes (a torn write / short read)."""
+    if length < 0:
+        raise ConfigurationError(f"truncation length must be >= 0, got {length}")
+    return data[:length]
+
+
+def corrupt_magic(data: bytes) -> bytes:
+    """Overwrite the 4-byte magic with an alien signature."""
+    return b"XBLB" + data[4:]
+
+
+def corrupt_version(data: bytes, version: int = 0x7FFF) -> bytes:
+    """Rewrite the version field to an unsupported value."""
+    return data[:4] + struct.pack("<H", version) + data[6:]
+
+
+def _header_region(data: bytes) -> tuple[int, int]:
+    """(start, end) byte offsets of the JSON header in a v2 blob."""
+    if len(data) < _V2_PRELUDE:
+        raise ConfigurationError("blob too short to locate its header")
+    (header_length,) = struct.unpack_from("<I", data, 6)
+    return _V2_PRELUDE, min(_V2_PRELUDE + header_length, len(data))
+
+
+def corrupt_header_byte(data: bytes, offset: int = 0, bit: int = 0) -> bytes:
+    """Flip one bit inside the JSON header region."""
+    start, end = _header_region(data)
+    if start + offset >= end:
+        raise ConfigurationError(
+            f"header offset {offset} outside header region [{start}, {end})"
+        )
+    return flip_bit(data, 8 * (start + offset) + bit)
+
+
+def corrupt_payload_byte(data: bytes, offset: int = 0, bit: int = 0) -> bytes:
+    """Flip one bit inside the payload region."""
+    __, end = _header_region(data)
+    if end + offset >= len(data):
+        raise ConfigurationError(
+            f"payload offset {offset} outside payload region [{end}, {len(data)})"
+        )
+    return flip_bit(data, 8 * (end + offset) + bit)
+
+
+# -- array-level injectors --------------------------------------------------
+def _poison(
+    array: np.ndarray, value: float, fraction: float, seed: int
+) -> np.ndarray:
+    if not 0 < fraction <= 1:
+        raise ConfigurationError(f"poison fraction must be in (0, 1], got {fraction}")
+    out = np.array(array, dtype=np.result_type(array.dtype, np.float32), copy=True)
+    flat = out.reshape(-1)
+    count = max(1, int(round(fraction * flat.size)))
+    rng = np.random.default_rng(seed)
+    flat[rng.choice(flat.size, size=count, replace=False)] = value
+    return out
+
+
+def poison_nan(array: np.ndarray, fraction: float = 0.01, seed: int = 0) -> np.ndarray:
+    """Return a copy with a deterministic subset of entries set to NaN."""
+    return _poison(array, np.nan, fraction, seed)
+
+
+def poison_inf(array: np.ndarray, fraction: float = 0.01, seed: int = 0) -> np.ndarray:
+    """Return a copy with a deterministic subset of entries set to +Inf."""
+    return _poison(array, np.inf, fraction, seed)
+
+
+# -- file-level lifting -----------------------------------------------------
+def corrupt_file(path: str, injector: Callable[[bytes], bytes]) -> None:
+    """Apply a byte-level injector to a file in place (atomic rewrite)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    corrupted = injector(data)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(corrupted)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+# -- corruption matrix ------------------------------------------------------
+def blob_corruptions(
+    data: bytes, truncation_step: int = 16
+) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(name, corrupted)`` pairs covering every corruption class.
+
+    The matrix spans: bad magic, unsupported version, a bit flip in the
+    header, a bit flip in the payload, and truncation at every
+    ``truncation_step``-byte boundary.  Tests iterate this to assert no
+    corrupted variant ever decodes silently.
+    """
+    yield "bad-magic", corrupt_magic(data)
+    yield "bad-version", corrupt_version(data)
+    start, end = _header_region(data)
+    yield "header-bitflip", corrupt_header_byte(data, offset=(end - start) // 2)
+    if end < len(data):
+        yield "payload-bitflip", corrupt_payload_byte(data, offset=(len(data) - end) // 2)
+    for length in range(0, len(data), truncation_step):
+        yield f"truncate-{length}", truncate(data, length)
+
+
+class FaultInjector:
+    """Seeded convenience wrapper choosing corruption sites pseudo-randomly.
+
+    Where the module-level functions take explicit offsets, the injector
+    draws them from a deterministic :class:`numpy.random.Generator`, so a
+    stress loop can hammer many distinct corruption sites while staying
+    reproducible from a single seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def flip_random_bit(self, data: bytes) -> bytes:
+        return flip_bit(data, int(self._rng.integers(0, 8 * len(data))))
+
+    def truncate_randomly(self, data: bytes) -> bytes:
+        return truncate(data, int(self._rng.integers(0, len(data))))
+
+    def poison(self, array: np.ndarray, fraction: float = 0.01) -> np.ndarray:
+        value = float(self._rng.choice([np.nan, np.inf, -np.inf]))
+        return _poison(array, value, fraction, int(self._rng.integers(0, 2**31)))
+
+    def corrupt_file_randomly(self, path: str) -> None:
+        corrupt_file(path, self.flip_random_bit)

@@ -1,0 +1,49 @@
+"""Graceful-degradation policies for corrupted data.
+
+When an integrity check fails, three reactions make sense in the
+pipeline of Fig. 1, ordered from strictest to most forgiving:
+
+* ``raise`` — propagate the typed error; the caller decides.
+* ``recompress-from-source`` — re-run the lossy compressor on the
+  registered source data under the original contract and retry.
+* ``fallback-lossless`` — store/return the source data losslessly; the
+  error contract is trivially honoured at the cost of compression ratio.
+
+Both recovery policies require a *source* (the uncompressed data, or a
+provider that can reproduce it) and are bounded by a retry budget so a
+persistently failing medium still fails loudly rather than looping.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["CorruptionPolicy", "resolve_policy"]
+
+
+class CorruptionPolicy(Enum):
+    """What to do when stored or decoded data fails verification."""
+
+    RAISE = "raise"
+    RECOMPRESS = "recompress-from-source"
+    FALLBACK_LOSSLESS = "fallback-lossless"
+
+    @property
+    def recovers(self) -> bool:
+        """Whether this policy attempts recovery instead of raising."""
+        return self is not CorruptionPolicy.RAISE
+
+
+def resolve_policy(value: "CorruptionPolicy | str") -> CorruptionPolicy:
+    """Coerce a policy enum or its string value, with a helpful error."""
+    if isinstance(value, CorruptionPolicy):
+        return value
+    try:
+        return CorruptionPolicy(value)
+    except ValueError:
+        known = ", ".join(repr(p.value) for p in CorruptionPolicy)
+        raise ConfigurationError(
+            f"unknown corruption policy {value!r}; known: {known}"
+        ) from None

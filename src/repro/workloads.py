@@ -18,6 +18,9 @@ Figs. 3 and 4):
 from __future__ import annotations
 
 import os
+import tempfile
+import warnings
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -140,6 +143,57 @@ def _train(
     return history.train_loss[-1]
 
 
+def _load_cached_state(cache_file: str, model: Sequential) -> float | None:
+    """Restore model weights from a cached ``.npz``; None if unusable.
+
+    On real storage a cache file can be truncated, bit-flipped or simply
+    stale (written by an older model layout).  Any such corruption is
+    detected here, the bad file is deleted, and the caller retrains —
+    a corrupt cache must never crash (or silently poison) a run.
+    """
+    try:
+        with np.load(cache_file) as archive:
+            state = {key: archive[key] for key in archive.files if key != "__loss__"}
+            loss = (
+                float(archive["__loss__"]) if "__loss__" in archive.files else float("nan")
+            )
+        for key, value in state.items():
+            if not np.all(np.isfinite(value)):
+                raise ValueError(f"cached weight {key!r} contains non-finite values")
+        model.load_state_dict(state)
+        return loss
+    except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError) as exc:
+        warnings.warn(
+            f"workload cache {os.path.basename(cache_file)!r} is corrupt or "
+            f"stale ({type(exc).__name__}: {exc}); deleting and retraining",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            os.unlink(cache_file)
+        except OSError:
+            pass
+        return None
+
+
+def _save_cached_state(cache_file: str, payload: dict) -> None:
+    """Write the weight cache atomically (temp file + ``os.replace``).
+
+    Mirrors ``DatasetStore.put``: a crashed or concurrent writer can
+    never leave a torn ``.npz`` for the next run to trip over.
+    """
+    directory = os.path.dirname(cache_file)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(temp_path, cache_file)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
 def _default_epochs(name: str) -> int:
     epochs = {"h2combustion": 60, "borghesi": 40, "eurosat": 30}.get(name)
     if epochs is None:
@@ -184,19 +238,18 @@ def load_workload(
     cache_file = os.path.join(
         _cache_dir(), f"{name}-{variant}-e{epochs}-s{int(small)}-seed{seed}.npz"
     )
-    final_loss = float("nan")
+    final_loss = None
     if use_cache and os.path.exists(cache_file):
-        archive = np.load(cache_file)
-        state = {key: archive[key] for key in archive.files if key != "__loss__"}
-        model.load_state_dict(state)
-        final_loss = float(archive["__loss__"]) if "__loss__" in archive.files else final_loss
-    else:
+        final_loss = _load_cached_state(cache_file, model)
+    if final_loss is None:
+        # Rebuild in case a partially-applied corrupt cache touched weights.
+        model = _build_model(name, variant, np.random.default_rng(seed + 1))
         train_rng = np.random.default_rng(seed + 2)
         final_loss = _train(name, variant, model, dataset, epochs, train_rng)
         if use_cache:
             payload = dict(model.state_dict())
             payload["__loss__"] = np.asarray(final_loss)
-            np.savez(cache_file, **payload)
+            _save_cached_state(cache_file, payload)
     model.eval()
     n_input = int(np.prod(dataset.train_inputs.shape[1:]))
     analyzer = ErrorFlowAnalyzer(model, n_input=n_input)

@@ -1,0 +1,497 @@
+"""Fault-injection suite: every corruption class is detected, never decoded.
+
+Proves the data-integrity layer's central claim — between the store and
+the model, no corrupted byte passes silently.  Covers the v2 checksummed
+blob format, the fault injectors themselves, the runtime guards, the
+DatasetStore degradation policies, pipeline-level recovery, and v1
+backward compatibility.
+"""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compress import ErrorBoundMode, SZCompressor, ZFPCompressor
+from repro.core import InferencePipeline, TolerancePlanner
+from repro.core.errorflow import ErrorFlowAnalyzer
+from repro.exceptions import (
+    CompressionError,
+    ConfigurationError,
+    ContractViolation,
+    IntegrityError,
+)
+from repro.io import DatasetStore, blob_from_bytes, blob_to_bytes
+from repro.resilience import (
+    CorruptionPolicy,
+    FaultInjector,
+    blob_corruptions,
+    check_contract,
+    corrupt_file,
+    corrupt_header_byte,
+    corrupt_magic,
+    corrupt_payload_byte,
+    corrupt_version,
+    flip_bit,
+    poison_inf,
+    poison_nan,
+    resolve_policy,
+    screen_finite,
+    truncate,
+)
+
+
+@pytest.fixture
+def blob_bytes(smooth_field_2d):
+    blob = SZCompressor().compress(smooth_field_2d, 1e-4, ErrorBoundMode.ABS)
+    return blob_to_bytes(blob)
+
+
+# -- corruption matrix ------------------------------------------------------
+def test_corruption_matrix_no_silent_decode(blob_bytes):
+    """Every injected corruption raises a typed error — zero silent successes."""
+    cases = list(blob_corruptions(blob_bytes, truncation_step=16))
+    assert len(cases) > 20  # magic, version, header, payload + many truncations
+    for name, corrupted in cases:
+        with pytest.raises(CompressionError):
+            blob_from_bytes(corrupted)
+            pytest.fail(f"corruption {name!r} decoded silently")
+
+
+def test_every_payload_bitflip_detected(blob_bytes):
+    """Walk single-bit flips across the whole payload region."""
+    for offset in range(0, 256, 17):
+        with pytest.raises(IntegrityError):
+            blob_from_bytes(corrupt_payload_byte(blob_bytes, offset=offset))
+
+
+def test_every_header_bitflip_detected(blob_bytes):
+    for offset in range(0, 32, 3):
+        with pytest.raises(CompressionError):
+            blob_from_bytes(corrupt_header_byte(blob_bytes, offset=offset))
+
+
+def test_truncation_at_every_boundary_detected(blob_bytes):
+    for length in range(0, len(blob_bytes), 16):
+        with pytest.raises(CompressionError):
+            blob_from_bytes(truncate(blob_bytes, length))
+
+
+def test_bad_magic_and_version_detected(blob_bytes):
+    with pytest.raises(CompressionError):
+        blob_from_bytes(corrupt_magic(blob_bytes))
+    with pytest.raises(CompressionError):
+        blob_from_bytes(corrupt_version(blob_bytes))
+
+
+def test_random_bitflip_storm_detected(blob_bytes):
+    """A seeded storm of random single-bit flips: all caught or benign-free."""
+    injector = FaultInjector(seed=123)
+    for __ in range(64):
+        with pytest.raises(CompressionError):
+            blob_from_bytes(injector.flip_random_bit(blob_bytes))
+
+
+def test_header_missing_keys_rejected(smooth_field_2d):
+    """A structurally valid v1 blob whose header lacks required keys."""
+    header = b'{"codec":"sz"}'
+    data = b"RBLB" + struct.pack("<HI", 1, len(header)) + header + b"\x00" * 16
+    with pytest.raises(CompressionError, match="missing required keys"):
+        blob_from_bytes(data)
+
+
+def test_header_invalid_shape_rejected():
+    header = b'{"codec":"sz","shape":[-1],"dtype":"float32","mode":"abs","tolerance":1e-4}'
+    data = b"RBLB" + struct.pack("<HI", 1, len(header)) + header
+    with pytest.raises(CompressionError, match="invalid shape"):
+        blob_from_bytes(data)
+
+
+def test_short_inputs_raise_typed_errors():
+    for data in (b"", b"RB", b"RBLB", b"RBLB\x02", b"RBLB\x02\x00\xff"):
+        with pytest.raises(CompressionError):
+            blob_from_bytes(data)
+
+
+# -- v1 backward compatibility ---------------------------------------------
+def test_v1_blob_still_loads(smooth_field_2d):
+    """Blobs written before the integrity layer must keep decoding."""
+    codec = SZCompressor()
+    blob = codec.compress(smooth_field_2d, 1e-4, ErrorBoundMode.ABS)
+    legacy = blob_to_bytes(blob, version=1)
+    restored = blob_from_bytes(legacy)
+    assert restored.codec == blob.codec
+    assert np.abs(codec.decompress(restored) - smooth_field_2d).max() <= 1e-4
+
+
+def test_v1_prelude_is_bit_identical_to_seed_format(smooth_field_2d):
+    """The v1 writer must reproduce the exact pre-PR wire layout."""
+    blob = SZCompressor().compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    data = blob_to_bytes(blob, version=1)
+    assert data[:4] == b"RBLB"
+    version, header_length = struct.unpack_from("<HI", data, 4)
+    assert version == 1
+    assert data[10 : 10 + header_length].startswith(b"{")
+
+
+def test_v2_is_default_and_checksummed(blob_bytes):
+    version, __, stored_crc = struct.unpack_from("<HII", blob_bytes, 4)
+    assert version == 2
+    import zlib
+
+    assert stored_crc == zlib.crc32(blob_bytes[14:])
+
+
+# -- injectors --------------------------------------------------------------
+def test_flip_bit_is_involutive_and_bounded():
+    data = bytes(range(32))
+    assert flip_bit(flip_bit(data, 100), 100) == data
+    with pytest.raises(ConfigurationError):
+        flip_bit(data, 8 * len(data))
+
+
+def test_poisoning_is_deterministic(smooth_field_2d):
+    a = poison_nan(smooth_field_2d, fraction=0.05, seed=9)
+    b = poison_nan(smooth_field_2d, fraction=0.05, seed=9)
+    assert np.array_equal(np.isnan(a), np.isnan(b))
+    assert np.isnan(a).sum() == max(1, round(0.05 * smooth_field_2d.size))
+    assert np.isinf(poison_inf(smooth_field_2d, seed=3)).any()
+
+
+def test_corrupt_file_is_atomic(tmp_path):
+    path = tmp_path / "x.bin"
+    path.write_bytes(b"A" * 64)
+
+    def exploding(data):
+        raise RuntimeError("injector crashed")
+
+    with pytest.raises(RuntimeError):
+        corrupt_file(str(path), exploding)
+    assert path.read_bytes() == b"A" * 64  # untouched
+    assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+
+# -- guards -----------------------------------------------------------------
+def test_screen_finite_passes_clean_and_int_arrays(smooth_field_2d):
+    assert screen_finite(smooth_field_2d, "t") is not None
+    screen_finite(np.arange(10), "t")  # ints are trivially finite
+
+
+def test_screen_finite_reports_counts(smooth_field_2d):
+    poisoned = poison_nan(smooth_field_2d, fraction=0.01, seed=1)
+    with pytest.raises(IntegrityError, match="NaN"):
+        screen_finite(poisoned, "decompress", name="fields")
+
+
+def test_check_contract_structured_diagnostic():
+    with pytest.raises(ContractViolation) as excinfo:
+        check_contract(2e-3, 1e-3, codec="sz", stage="decompress", norm="linf")
+    err = excinfo.value
+    assert err.codec == "sz" and err.stage == "decompress" and err.norm == "linf"
+    assert err.expected == pytest.approx(1e-3)
+    assert err.achieved == pytest.approx(2e-3)
+    # inside the bound: returns achieved
+    assert check_contract(5e-4, 1e-3, codec="sz", stage="s") == pytest.approx(5e-4)
+    with pytest.raises(ContractViolation):
+        check_contract(float("nan"), 1e-3, codec="sz", stage="s")
+
+
+def test_resolve_policy():
+    assert resolve_policy("raise") is CorruptionPolicy.RAISE
+    assert resolve_policy(CorruptionPolicy.RECOMPRESS) is CorruptionPolicy.RECOMPRESS
+    assert CorruptionPolicy.FALLBACK_LOSSLESS.recovers
+    assert not CorruptionPolicy.RAISE.recovers
+    with pytest.raises(ConfigurationError):
+        resolve_policy("ignore")
+
+
+# -- DatasetStore degradation ----------------------------------------------
+def _rblob_path(store, name):
+    return os.path.join(store.directory, name + ".rblob")
+
+
+def test_store_detects_on_disk_corruption(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path))
+    store.put("f", smooth_field_2d, tolerance=1e-3)
+    corrupt_file(_rblob_path(store, "f"), lambda b: corrupt_payload_byte(b, 5))
+    with pytest.raises(IntegrityError):
+        store.get("f")
+
+
+def test_store_recompress_from_source_recovers(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path), on_corruption="recompress-from-source")
+    store.put("f", smooth_field_2d, tolerance=1e-3, keep_source=True)
+    corrupt_file(_rblob_path(store, "f"), lambda b: truncate(b, len(b) // 3))
+    recovered = store.get("f")
+    assert np.abs(recovered - smooth_field_2d).max() <= 1e-3
+    assert store.verify("f")  # on-disk entry was repaired too
+
+
+def test_store_fallback_lossless_recovers_exactly(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path), on_corruption="fallback-lossless")
+    store.put("f", smooth_field_2d, tolerance=1e-3, keep_source=True)
+    corrupt_file(_rblob_path(store, "f"), lambda b: corrupt_payload_byte(b, 0))
+    recovered = store.get("f")
+    assert np.array_equal(recovered, smooth_field_2d)
+    assert store.get_blob("f").metadata.get("degraded") is True
+
+
+def test_store_attach_source_provider(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path), on_corruption="recompress-from-source")
+    store.put("f", smooth_field_2d, tolerance=1e-3)
+    store.attach_source("f", lambda: smooth_field_2d)
+    corrupt_file(_rblob_path(store, "f"), lambda b: truncate(b, 20))
+    assert np.abs(store.get("f") - smooth_field_2d).max() <= 1e-3
+
+
+def test_store_recovery_without_source_raises(tmp_path, smooth_field_2d):
+    store = DatasetStore(str(tmp_path), on_corruption="recompress-from-source")
+    store.put("f", smooth_field_2d, tolerance=1e-3)
+    corrupt_file(_rblob_path(store, "f"), lambda b: truncate(b, 20))
+    with pytest.raises(IntegrityError, match="could not be recovered"):
+        store.get("f")
+
+
+def test_store_retries_are_bounded(tmp_path, smooth_field_2d, monkeypatch):
+    """A persistently corrupting medium fails loudly, not forever."""
+    store = DatasetStore(
+        str(tmp_path), on_corruption="recompress-from-source", max_retries=2
+    )
+    store.put("f", smooth_field_2d, tolerance=1e-3, keep_source=True)
+    calls = {"n": 0}
+    original = DatasetStore.get_blob
+
+    def always_corrupt(self, name):
+        calls["n"] += 1
+        blob = original(self, name)
+        raise IntegrityError("medium keeps flipping bits")
+
+    monkeypatch.setattr(DatasetStore, "get_blob", always_corrupt)
+    with pytest.raises(IntegrityError):
+        store.get("f")
+    assert calls["n"] == 3  # initial read + max_retries
+
+
+def test_store_missing_entry_is_not_a_corruption_event(tmp_path):
+    store = DatasetStore(str(tmp_path), on_corruption="fallback-lossless")
+    with pytest.raises(CompressionError, match="not found"):
+        store.get("absent")
+
+
+def test_store_rejects_escaping_names(tmp_path):
+    store = DatasetStore(str(tmp_path))
+    field = np.zeros((4, 4))
+    for bad in ("", "../evil", ".hidden", "a/b", "a\\b", "..", "a..b", os.sep + "abs"):
+        with pytest.raises(CompressionError):
+            store.put(bad, field, tolerance=1e-2)
+
+
+def test_store_crash_safety_no_torn_file(tmp_path, smooth_field_2d, monkeypatch):
+    """A writer dying mid-put leaves no visible (or partial) entry."""
+    store = DatasetStore(str(tmp_path))
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash during rename")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        store.put("f", smooth_field_2d, tolerance=1e-3)
+    monkeypatch.undo()
+    assert "f" not in store
+    assert store.names() == []
+    assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    # the store still works afterwards
+    store.put("f", smooth_field_2d, tolerance=1e-3)
+    assert store.verify("f")
+
+
+def test_store_crash_during_payload_write(tmp_path, smooth_field_2d, monkeypatch):
+    store = DatasetStore(str(tmp_path))
+    store.put("f", smooth_field_2d, tolerance=1e-3)
+    before = open(_rblob_path(store, "f"), "rb").read()
+
+    import repro.io.store as store_mod
+
+    def exploding_to_bytes(blob):
+        raise MemoryError("simulated failure while serializing")
+
+    monkeypatch.setattr(store_mod, "blob_to_bytes", exploding_to_bytes)
+    with pytest.raises(MemoryError):
+        store.put("f", smooth_field_2d * 2, tolerance=1e-3)
+    monkeypatch.undo()
+    # the previous entry is intact — overwrite is all-or-nothing
+    assert open(_rblob_path(store, "f"), "rb").read() == before
+
+
+# -- pipeline guards --------------------------------------------------------
+@pytest.fixture(scope="module")
+def planned(trained_spectral_mlp):
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp, n_input=5)
+    plan = TolerancePlanner(analyzer).plan(1e-2, norm="linf", quant_fraction=0.5)
+    return trained_spectral_mlp, plan
+
+
+@pytest.fixture
+def field_batch(rng):
+    # (V, H, W) layout: 5 variable planes, pipelines reshape to samples
+    return rng.uniform(-1, 1, (5, 16, 16)).astype(np.float32)
+
+
+def test_pipeline_records_integrity_report(planned, field_batch):
+    model, plan = planned
+    pipe = InferencePipeline(model, SZCompressor(), plan)
+    result = pipe.execute(field_batch)
+    report = result.extra["integrity"]
+    assert report["screened"] is True
+    assert report["recoveries"] == 0 and report["degraded"] is False
+    contract = report["input_contract"]
+    assert contract["achieved"] <= contract["expected"]
+
+
+def test_pipeline_screens_poisoned_decompression(planned, field_batch, monkeypatch):
+    model, plan = planned
+    codec = SZCompressor()
+    original = SZCompressor.decompress
+
+    def poisoning(self, blob):
+        return poison_nan(original(self, blob), fraction=0.02, seed=5)
+
+    monkeypatch.setattr(SZCompressor, "decompress", poisoning)
+    pipe = InferencePipeline(model, codec, plan)
+    with pytest.raises(IntegrityError, match="decompress"):
+        pipe.execute(field_batch)
+
+
+def test_pipeline_fallback_lossless_recovers(planned, field_batch, monkeypatch):
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def poisoning(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data  # the degraded path reads clean
+        return poison_nan(data, fraction=0.02, seed=5)
+
+    monkeypatch.setattr(SZCompressor, "decompress", poisoning)
+    pipe = InferencePipeline(
+        model, SZCompressor(), plan, on_corruption="fallback-lossless"
+    )
+    result = pipe.execute(field_batch)
+    report = result.extra["integrity"]
+    assert report["degraded"] is True and report["recoveries"] == 1
+    assert result.input_error_linf == 0.0  # lossless blob: exact inputs
+    assert np.isfinite(result.outputs).all()
+
+
+def test_pipeline_recompress_retries_transient_fault(planned, field_batch, monkeypatch):
+    model, plan = planned
+    original = SZCompressor.decompress
+    state = {"fails": 1}
+
+    def flaky(self, blob):
+        data = original(self, blob)
+        if state["fails"] > 0 and not blob.metadata.get("lossless"):
+            state["fails"] -= 1
+            return poison_inf(data, fraction=0.01, seed=2)
+        return data
+
+    monkeypatch.setattr(SZCompressor, "decompress", flaky)
+    pipe = InferencePipeline(
+        model, SZCompressor(), plan, on_corruption="recompress-from-source"
+    )
+    result = pipe.execute(field_batch)
+    report = result.extra["integrity"]
+    assert report["recoveries"] == 1
+    assert report["degraded"] is False  # the retry succeeded lossily
+    assert result.qoi_error("linf", relative=False) <= 1e-2
+
+
+def test_pipeline_recompress_degrades_after_budget(planned, field_batch, monkeypatch):
+    """When every lossy attempt fails, recompression degrades to lossless."""
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def always_poisoned(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data
+        return poison_nan(data, fraction=0.01, seed=4)
+
+    monkeypatch.setattr(SZCompressor, "decompress", always_poisoned)
+    pipe = InferencePipeline(
+        model, SZCompressor(), plan, on_corruption="recompress-from-source", max_retries=2
+    )
+    result = pipe.execute(field_batch)
+    assert result.extra["integrity"]["degraded"] is True
+    assert result.extra["integrity"]["recoveries"] == 3
+
+
+def test_pipeline_contract_violation_is_structured(planned, field_batch, monkeypatch):
+    """A codec that silently overshoots its bound triggers ContractViolation."""
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def overshooting(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data
+        return data + 10.0 * plan.input_tolerance  # finite but out of contract
+
+    monkeypatch.setattr(SZCompressor, "decompress", overshooting)
+    pipe = InferencePipeline(model, SZCompressor(), plan)
+    with pytest.raises(ContractViolation) as excinfo:
+        pipe.execute(field_batch)
+    err = excinfo.value
+    assert err.codec == "sz" and err.stage == "decompress"
+    assert err.achieved > err.expected
+
+
+def test_pipeline_rejects_non_finite_source(planned, field_batch):
+    model, plan = planned
+    pipe = InferencePipeline(model, SZCompressor(), plan)
+    with pytest.raises(IntegrityError, match="source"):
+        pipe.execute(poison_nan(field_batch, fraction=0.01, seed=8))
+
+
+def test_pipeline_screen_off_skips_guards(planned, field_batch, monkeypatch):
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def overshooting(self, blob):
+        return original(self, blob) + 10.0 * plan.input_tolerance
+
+    monkeypatch.setattr(SZCompressor, "decompress", overshooting)
+    pipe = InferencePipeline(model, SZCompressor(), plan, screen=False)
+    result = pipe.execute(field_batch)  # measurement-only: no raise
+    assert result.input_error_linf > plan.input_tolerance
+
+
+def test_pipeline_zfp_also_guarded(planned, field_batch):
+    model, plan = planned
+    pipe = InferencePipeline(model, ZFPCompressor(), plan)
+    result = pipe.execute(field_batch)
+    assert result.extra["integrity"]["input_contract"]["achieved"] <= plan.input_tolerance
+
+
+# -- safe_decompress --------------------------------------------------------
+def test_safe_decompress_truncated_lossless_payload(smooth_field_2d):
+    from repro.compress.base import CompressedBlob
+
+    blob = CompressedBlob(
+        codec="sz",
+        payload=smooth_field_2d.tobytes()[:-8],  # torn write
+        shape=smooth_field_2d.shape,
+        dtype=str(smooth_field_2d.dtype),
+        mode=ErrorBoundMode.ABS,
+        tolerance=1e-3,
+        metadata={"lossless": True},
+    )
+    with pytest.raises(IntegrityError, match="lossless payload"):
+        SZCompressor().safe_decompress(blob)
+
+
+def test_safe_decompress_wrong_codec_rejected(smooth_field_2d):
+    blob = SZCompressor().compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    with pytest.raises(CompressionError):
+        ZFPCompressor().safe_decompress(blob)
