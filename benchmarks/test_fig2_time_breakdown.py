@@ -9,8 +9,9 @@ MLPs — the premise for combining I/O reduction *and* quantization.
 import numpy as np
 
 from conftest import print_table, run_once
+from repro import obs
 from repro.models import ZOO_INPUT_SHAPES, build_model, model_flops
-from repro.perf import ExecutionModel, RTX3080TI, measure_inference_seconds
+from repro.perf import ExecutionModel, RTX3080TI, StageBreakdown, Stopwatch, measure_inference_seconds
 
 _ZOO = ("resnet8", "resnet14", "resnet20", "mlp_s", "mlp_m", "mlp_l")
 
@@ -58,12 +59,34 @@ def test_fig2_time_breakdown(benchmark):
 
 
 def test_fig2_measured_numpy_execution(benchmark):
-    """Real wall-clock of the numpy substrate (the measured data point)."""
+    """Real wall-clock of the numpy substrate (the measured data point).
+
+    The measurement is trace-backed: ``measure_inference_seconds`` emits
+    spans, a :class:`Stopwatch` is rebuilt from those spans, and the
+    figure's :class:`StageBreakdown` is derived from the stopwatch — the
+    paper figure and production telemetry read the same span data.
+    """
     rng = np.random.default_rng(0)
     model = build_model("mlp_s", rng=rng)
-    seconds = benchmark.pedantic(
-        lambda: measure_inference_seconds(model, (256,), batch_size=64, repeats=2),
-        rounds=1,
-        iterations=1,
-    )
+
+    def measured():
+        with obs.capture() as (tracer, __metrics):
+            seconds = measure_inference_seconds(model, (256,), batch_size=64, repeats=2)
+        return seconds, tracer
+
+    seconds, tracer = benchmark.pedantic(measured, rounds=1, iterations=1)
     assert seconds > 0
+
+    # The spans carry the same measurement the function returned...
+    execute_spans = tracer.find("execute")
+    assert len(execute_spans) == 2
+    assert min(s.duration_s for s in execute_spans) <= seconds <= max(
+        s.duration_s for s in execute_spans
+    ) or abs(seconds - np.median([s.duration_s for s in execute_spans])) < 5e-3
+
+    # ...and rebuild into the Fig. 2 data structures without re-timing.
+    watch = Stopwatch.from_spans(tracer)
+    assert watch.phases["execute"] > 0
+    breakdown = StageBreakdown.from_phases(watch.phases)
+    assert breakdown.execute_seconds == watch.phases["execute"]
+    assert breakdown.fractions()["execute"] == 1.0  # pure-execution microbench

@@ -21,7 +21,7 @@ Quick start::
     assert result.qoi_error("linf", relative=False) <= 1e-3
 """
 
-from . import compress, core, datasets, io, models, nn, perf, physics, quant, resilience
+from . import compress, core, datasets, io, models, nn, obs, perf, physics, quant, resilience
 from .core import (
     ErrorFlowAnalyzer,
     InferencePipeline,
@@ -75,6 +75,7 @@ __all__ = [
     "load_workload",
     "models",
     "nn",
+    "obs",
     "perf",
     "physics",
     "probe_sensitivity",

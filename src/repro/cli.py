@@ -9,12 +9,22 @@ Commands mirror the paper's workflow:
 * ``pipeline``    — run the full error-bounded inference pipeline;
 * ``compress`` /
   ``decompress``  — error-bounded (de)compression of ``.npy`` arrays;
-* ``store``       — summarize a :class:`~repro.io.DatasetStore` directory.
+* ``store``       — summarize a :class:`~repro.io.DatasetStore` directory;
+* ``metrics``     — render a metrics export produced with ``--metrics``.
+
+Observability is wired through global flags: ``--trace FILE`` writes a
+JSONL span trace of the run, ``--metrics FILE`` a metrics snapshot
+(JSON, or Prometheus text when the file ends in ``.prom``/``.txt``),
+``--trace-summary`` prints the span tree to stderr, and ``--log-level``
+adjusts verbosity.  All human-readable output goes through the
+structured logger; at the default level its ``plain`` format matches
+the historical ``print()`` output byte for byte.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -24,10 +34,21 @@ from .compress import ErrorBoundMode, get_compressor
 from .core import InferencePipeline, TolerancePlanner
 from .exceptions import ReproError
 from .io import DatasetStore, blob_from_bytes, blob_to_bytes
+from .obs import (
+    disable as obs_disable,
+    enable as obs_enable,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    render_metrics_json,
+    set_log_level,
+)
 from .quant import STANDARD_FORMATS
 from .workloads import WORKLOAD_NAMES, load_workload
 
 __all__ = ["main", "build_parser"]
+
+_LOG = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Error-controlled neural inference on reduced scientific data",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace of the run and write it as JSONL",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a metrics snapshot (JSON; Prometheus text for .prom/.txt)",
+    )
+    parser.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the span tree to stderr after the command",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="info",
+        help="minimum severity printed (default: info)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser("analyze", help="error-flow analysis of a workload")
@@ -74,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = commands.add_parser("store", help="summarize a DatasetStore directory")
     store.add_argument("directory")
+
+    metrics = commands.add_parser(
+        "metrics", help="render a metrics export written by --metrics"
+    )
+    metrics.add_argument("file", help="metrics JSON produced by --metrics")
     return parser
 
 
@@ -83,19 +125,19 @@ def _cmd_analyze(args) -> int:
     if args.calibrate:
         analyzer.calibrate(workload.dataset.test_inputs)
     sigmas = [f"{s:.3f}" for s in analyzer.layer_sigmas()]
-    print(f"workload: {workload.name} (variant {workload.variant})")
-    print(f"layers: {len(sigmas)}  sigmas: {', '.join(sigmas)}")
-    print(f"Eq. (5) gain: {analyzer.gain():.3f}")
+    _LOG.info(f"workload: {workload.name} (variant {workload.variant})")
+    _LOG.info(f"layers: {len(sigmas)}  sigmas: {', '.join(sigmas)}")
+    _LOG.info(f"Eq. (5) gain: {analyzer.gain():.3f}")
     calibrated = " (calibrated)" if analyzer.is_calibrated else ""
-    print(f"quantization bounds{calibrated}:")
+    _LOG.info(f"quantization bounds{calibrated}:")
     for name in ("tf32", "fp16", "bf16", "int8"):
         bound = analyzer.quantization_bound(STANDARD_FORMATS[name])
-        print(f"  {name:>5s}: {bound:.4e}")
+        _LOG.info(f"  {name:>5s}: {bound:.4e}")
     if args.verbose:
         from .reporting import describe_model
 
-        print()
-        print(describe_model(workload.qoi_model()))
+        _LOG.info("")
+        _LOG.info(describe_model(workload.qoi_model()))
     return 0
 
 
@@ -103,13 +145,14 @@ def _cmd_plan(args) -> int:
     workload = load_workload(args.workload)
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
-    print(plan.describe())
-    print(f"compression budget: {plan.compression_budget:.4e}")
+    _LOG.info(plan.describe())
+    _LOG.info(f"compression budget: {plan.compression_budget:.4e}")
     return 0
 
 
 def _cmd_pipeline(args) -> int:
     workload = load_workload(args.workload)
+    _LOG.debug("workload loaded", workload=workload.name, variant=workload.variant)
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
     pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
@@ -119,13 +162,13 @@ def _cmd_pipeline(args) -> int:
         reshape = None
     result = pipeline.execute(workload.dataset.fields, samples_from_fields=reshape)
     achieved = result.qoi_error(args.norm, relative=False)
-    print(plan.describe())
-    print(f"compression ratio: {result.compression_ratio:.2f}x")
-    print(f"achieved QoI error: {achieved:.4e} (tolerance {args.tolerance:.1e})")
+    _LOG.info(plan.describe())
+    _LOG.info(f"compression ratio: {result.compression_ratio:.2f}x")
+    _LOG.info(f"achieved QoI error: {achieved:.4e} (tolerance {args.tolerance:.1e})")
     if achieved > args.tolerance:
-        print("TOLERANCE VIOLATED", file=sys.stderr)
+        _LOG.error("TOLERANCE VIOLATED")
         return 1
-    print("tolerance honoured")
+    _LOG.info("tolerance honoured")
     return 0
 
 
@@ -135,7 +178,7 @@ def _cmd_compress(args) -> int:
     blob = codec.compress(array, args.tolerance, ErrorBoundMode(args.mode))
     with open(args.out, "wb") as handle:
         handle.write(blob_to_bytes(blob))
-    print(
+    _LOG.info(
         f"{args.input}: {array.nbytes} B -> {blob.nbytes} B "
         f"(ratio {blob.compression_ratio:.2f}x, codec {blob.codec}, "
         f"{blob.mode.value} tol {blob.tolerance:.2e})"
@@ -149,7 +192,7 @@ def _cmd_decompress(args) -> int:
     codec = get_compressor(blob.codec)
     array = codec.decompress(blob)
     np.save(args.out, array)
-    print(f"{args.input} -> {args.out} shape={array.shape} dtype={array.dtype}")
+    _LOG.info(f"{args.input} -> {args.out} shape={array.shape} dtype={array.dtype}")
     return 0
 
 
@@ -157,11 +200,25 @@ def _cmd_store(args) -> int:
     store = DatasetStore(args.directory)
     rows = store.summary()
     if not rows:
-        print(f"{args.directory}: empty store")
+        _LOG.info(f"{args.directory}: empty store")
         return 0
-    print(f"{'name':20s} {'codec':6s} {'shape':>16s} {'tol':>10s} {'ratio':>7s}")
+    _LOG.info(f"{'name':20s} {'codec':6s} {'shape':>16s} {'tol':>10s} {'ratio':>7s}")
     for name, codec, shape, tolerance, ratio in rows:
-        print(f"{name:20s} {codec:6s} {str(shape):>16s} {tolerance:10.2e} {ratio:7.2f}")
+        _LOG.info(f"{name:20s} {codec:6s} {str(shape):>16s} {tolerance:10.2e} {ratio:7.2f}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        _LOG.error(f"error (OSError): cannot read metrics file: {exc}")
+        return 1
+    except json.JSONDecodeError as exc:
+        _LOG.error(f"error (JSONDecodeError): {args.file} is not a metrics export: {exc}")
+        return 1
+    _LOG.info(render_metrics_json(payload))
     return 0
 
 
@@ -172,16 +229,46 @@ _HANDLERS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "store": _cmd_store,
+    "metrics": _cmd_metrics,
 }
+
+
+def _export_metrics(registry, path: str) -> None:
+    if path.endswith((".prom", ".txt")):
+        with open(path, "w") as handle:
+            handle.write(registry.to_prometheus())
+    else:
+        with open(path, "w") as handle:
+            json.dump(registry.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    set_log_level(args.log_level)
+    observing = bool(args.trace or args.metrics or args.trace_summary)
+    if observing:
+        obs_enable()
     try:
-        return _HANDLERS[args.command](args)
-    except ReproError as exc:
-        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
-        return 1
+        try:
+            return _HANDLERS[args.command](args)
+        except ReproError as exc:
+            _LOG.error(f"error ({type(exc).__name__}): {exc}")
+            return 1
+    finally:
+        if observing:
+            tracer, registry = get_tracer(), get_metrics()
+            if args.trace:
+                tracer.export_jsonl(args.trace)
+                _LOG.debug("trace written", file=args.trace, spans=len(tracer.finished))
+            if args.metrics:
+                _export_metrics(registry, args.metrics)
+                _LOG.debug("metrics written", file=args.metrics)
+            if args.trace_summary:
+                tree = tracer.render_tree()
+                if tree:
+                    sys.stderr.write(tree + "\n")
+            obs_disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -9,6 +9,7 @@ that as a per-codec ``supported_modes`` set.
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
@@ -16,6 +17,7 @@ from enum import Enum
 import numpy as np
 
 from ..exceptions import CompressionError, IntegrityError, ToleranceError
+from ..obs import get_metrics, get_tracer
 
 __all__ = [
     "ErrorBoundMode",
@@ -156,12 +158,32 @@ class CompressedBlob:
 
 
 class Compressor:
-    """Abstract error-bounded lossy compressor."""
+    """Abstract error-bounded lossy compressor.
+
+    Subclasses implement :meth:`_compress` / :meth:`_decompress`; the
+    public :meth:`compress` / :meth:`decompress` are template methods
+    that add observability (a ``codec.compress``/``codec.decompress``
+    span plus per-codec timing histograms) around the implementation.
+    With observability disabled the wrappers delegate immediately.
+    """
 
     #: codec registry name
     name: str = "abstract"
     #: error-bound modes this codec honours
     supported_modes: frozenset[ErrorBoundMode] = frozenset()
+
+    def _compress(
+        self,
+        data: np.ndarray,
+        tolerance: float,
+        mode: ErrorBoundMode,
+    ) -> CompressedBlob:
+        """Codec-specific compression; see :meth:`compress`."""
+        raise NotImplementedError
+
+    def _decompress(self, blob: CompressedBlob) -> np.ndarray:
+        """Codec-specific reconstruction; see :meth:`decompress`."""
+        raise NotImplementedError
 
     def compress(
         self,
@@ -170,11 +192,47 @@ class Compressor:
         mode: ErrorBoundMode = ErrorBoundMode.ABS,
     ) -> CompressedBlob:
         """Compress ``data`` so the reconstruction honours the tolerance."""
-        raise NotImplementedError
+        tracer = get_tracer()
+        metrics = get_metrics()
+        if not (tracer.enabled or metrics.enabled):
+            return self._compress(data, tolerance, mode)
+        start = time.perf_counter()
+        with tracer.span(
+            "codec.compress",
+            codec=self.name,
+            mode=mode.value,
+            tolerance=float(tolerance),
+        ) as span:
+            blob = self._compress(data, tolerance, mode)
+            span.set(
+                ratio=blob.compression_ratio,
+                payload_bytes=blob.nbytes,
+                lossless=bool(blob.metadata.get("lossless", False)),
+            )
+        elapsed = time.perf_counter() - start
+        metrics.histogram("codec_compress_seconds", codec=self.name).observe(elapsed)
+        metrics.counter("codec_compress_total", codec=self.name).inc()
+        metrics.gauge("codec_compression_ratio", codec=self.name).set(blob.compression_ratio)
+        return blob
 
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         """Reconstruct the array from a blob produced by this codec."""
-        raise NotImplementedError
+        tracer = get_tracer()
+        metrics = get_metrics()
+        if not (tracer.enabled or metrics.enabled):
+            return self._decompress(blob)
+        start = time.perf_counter()
+        with tracer.span(
+            "codec.decompress",
+            codec=self.name,
+            payload_bytes=blob.nbytes,
+            lossless=bool(blob.metadata.get("lossless", False)),
+        ):
+            data = self._decompress(blob)
+        elapsed = time.perf_counter() - start
+        metrics.histogram("codec_decompress_seconds", codec=self.name).observe(elapsed)
+        metrics.counter("codec_decompress_total", codec=self.name).inc()
+        return data
 
     # -- shared helpers --------------------------------------------------
     def _check_mode(self, mode: ErrorBoundMode) -> None:

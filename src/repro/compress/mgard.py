@@ -166,7 +166,7 @@ class MGARDCompressor(Compressor):
         return work
 
     # -- public API ----------------------------------------------------------
-    def compress(
+    def _compress(
         self,
         data: np.ndarray,
         tolerance: float,
@@ -217,7 +217,7 @@ class MGARDCompressor(Compressor):
             metadata={"base_step": base, "s_weight": self.s_weight},
         )
 
-    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress(self, blob: CompressedBlob) -> np.ndarray:
         self._check_blob(blob)
         if blob.metadata.get("lossless"):
             return self._decompress_lossless(blob)

@@ -236,7 +236,7 @@ class SZCompressor(Compressor):
         )
         return recon, all_codes, all_outliers, anchors, choices
 
-    def compress(
+    def _compress(
         self,
         data: np.ndarray,
         tolerance: float,
@@ -300,7 +300,7 @@ class SZCompressor(Compressor):
             },
         )
 
-    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress(self, blob: CompressedBlob) -> np.ndarray:
         self._check_blob(blob)
         if blob.metadata.get("lossless"):
             return self._decompress_lossless(blob)

@@ -160,7 +160,7 @@ class ZFPCompressor(Compressor):
             raise CompressionError("cannot compress a scalar")
         return min(ndim, 3)
 
-    def compress(
+    def _compress(
         self,
         data: np.ndarray,
         tolerance: float,
@@ -192,7 +192,7 @@ class ZFPCompressor(Compressor):
             metadata={"eb": eb, "padded_shape": padded_shape},
         )
 
-    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress(self, blob: CompressedBlob) -> np.ndarray:
         self._check_blob(blob)
         if blob.metadata.get("lossless"):
             return self._decompress_lossless(blob)

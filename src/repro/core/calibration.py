@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import get_metrics, get_tracer
 from ..nn.conv import Conv2d, SpectralConv2d
 from ..nn.linear import Linear, SpectralLinear
 from ..nn.module import Module
@@ -84,5 +85,10 @@ def collect_signal_norms(
         raise ConfigurationError(f"margin must be >= 1, got {margin}")
     model.eval()
     norms: list[float] = []
-    _walk(model, np.asarray(inputs, dtype=np.float32), norms)
+    with get_tracer().span(
+        "quant.calibrate", samples=int(len(inputs)), margin=float(margin)
+    ) as span:
+        _walk(model, np.asarray(inputs, dtype=np.float32), norms)
+        span.set(layers=len(norms))
+    get_metrics().counter("calibrations_total").inc()
     return [norm * margin for norm in norms]

@@ -26,9 +26,15 @@ import numpy as np
 from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
 from ..exceptions import CompressionError, IntegrityError, PlanningError
 from ..nn.module import Module
+from ..obs import get_metrics, get_tracer
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
-from ..resilience.policy import CorruptionPolicy, resolve_policy
+from ..resilience.policy import (
+    CorruptionPolicy,
+    record_recovery,
+    record_retry,
+    resolve_policy,
+)
 from .planner import InferencePlan
 
 __all__ = ["PipelineResult", "InferencePipeline"]
@@ -146,23 +152,59 @@ class InferencePipeline:
             metadata={"lossless": True, "degraded": True},
         )
 
-    def _store_and_load(self, fields: np.ndarray) -> tuple[CompressedBlob, np.ndarray, float, float, int]:
+    def _store_and_load(
+        self, fields: np.ndarray
+    ) -> tuple[CompressedBlob, np.ndarray, float, float, int, dict]:
         """Compress + decompress under the degradation policy.
 
         Returns ``(blob, reconstruction, compress_s, decompress_s,
-        recoveries)`` where ``recoveries`` counts policy activations.
+        recoveries, spans)`` where ``recoveries`` counts policy
+        activations and ``spans`` holds the compress/decompress trace
+        spans for post-hoc attribute enrichment (observed errors are only
+        measurable once the reconstruction is compared to the source).
         """
+        tracer = get_tracer()
+        predicted = float(self.plan.input_tolerance)
         recoveries = 0
         failure: Exception | None = None
+        spans: dict = {}
         for attempt in range(self.max_retries + 1):
+            if attempt:
+                record_retry("pipeline")
             start = time.perf_counter()
-            blob = self.store(fields)
+            with tracer.span(
+                "pipeline.compress",
+                codec=self.codec.name,
+                attempt=attempt,
+                predicted_bound=predicted,
+            ) as span:
+                blob = self.store(fields)
+                span.set(compression_ratio=blob.compression_ratio)
+            spans["compress"] = span
             compress_seconds = time.perf_counter() - start
             start = time.perf_counter()
+            span = tracer.span(
+                "pipeline.decompress",
+                codec=self.codec.name,
+                attempt=attempt,
+                predicted_bound=predicted,
+            )
             try:
-                reconstructed = self.load(blob)
-                return blob, reconstructed, compress_seconds, time.perf_counter() - start, recoveries
+                with span:
+                    reconstructed = self.load(blob)
+                spans["decompress"] = span
+                if recoveries:
+                    record_recovery(self.on_corruption, "pipeline")
+                return (
+                    blob,
+                    reconstructed,
+                    compress_seconds,
+                    time.perf_counter() - start,
+                    recoveries,
+                    spans,
+                )
             except (IntegrityError, CompressionError) as exc:
+                spans["decompress"] = span
                 if self.on_corruption is CorruptionPolicy.RAISE:
                     raise
                 failure = exc
@@ -170,16 +212,26 @@ class InferencePipeline:
                 if self.on_corruption is CorruptionPolicy.FALLBACK_LOSSLESS:
                     break
         # recompression kept failing (or the policy is lossless): degrade.
+        record_retry("pipeline")
         blob = self._lossless_blob(fields)
         start = time.perf_counter()
+        span = tracer.span(
+            "pipeline.decompress",
+            codec=self.codec.name,
+            degraded=True,
+            predicted_bound=predicted,
+        )
         try:
-            reconstructed = self.load(blob)
+            with span:
+                reconstructed = self.load(blob)
         except (IntegrityError, CompressionError) as exc:
             raise IntegrityError(
                 "pipeline could not recover a clean reconstruction even "
                 f"losslessly (policy {self.on_corruption.value!r}): {exc}"
             ) from (failure or exc)
-        return blob, reconstructed, 0.0, time.perf_counter() - start, recoveries
+        spans["decompress"] = span
+        record_recovery(self.on_corruption, "pipeline")
+        return blob, reconstructed, 0.0, time.perf_counter() - start, recoveries, spans
 
     def execute(
         self,
@@ -207,66 +259,150 @@ class InferencePipeline:
         if samples_from_fields is None:
             samples_from_fields = lambda f: f.reshape(f.shape[0], -1).T.astype(np.float32)  # noqa: E731
 
-        if self.screen:
-            screen_finite(fields, stage="source", name="fields")
+        tracer = get_tracer()
+        metrics = get_metrics()
+        with tracer.span(
+            "pipeline.execute",
+            codec=self.codec.name,
+            norm=self.plan.norm,
+            fmt=self.plan.fmt.name,
+            policy=self.on_corruption.value,
+        ) as root:
+            if self.screen:
+                screen_finite(fields, stage="source", name="fields")
 
-        blob, reconstructed, compress_seconds, decompress_seconds, recoveries = (
-            self._store_and_load(fields)
-        )
+            blob, reconstructed, compress_seconds, decompress_seconds, recoveries, spans = (
+                self._store_and_load(fields)
+            )
 
-        samples = samples_from_fields(reconstructed)
-        start = time.perf_counter()
-        outputs = self.quantized(samples)
-        inference_seconds = time.perf_counter() - start
+            samples = samples_from_fields(reconstructed)
+            with tracer.span(
+                "pipeline.inference",
+                fmt=self.plan.fmt.name,
+                samples=int(len(samples)),
+                predicted_bound=float(self.plan.quant_bound),
+            ) as inference_span:
+                start = time.perf_counter()
+                outputs = self.quantized(samples)
+                inference_seconds = time.perf_counter() - start
 
-        self.model.eval()
-        reference = self.model(samples_from_fields(fields))
-        delta = samples_from_fields(fields) - samples
-        input_error_linf = float(np.abs(delta).max()) if delta.size else 0.0
-        input_error_l2_max = (
-            float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0
-        )
+            self.model.eval()
+            reference = self.model(samples_from_fields(fields))
+            delta = samples_from_fields(fields) - samples
+            input_error_linf = float(np.abs(delta).max()) if delta.size else 0.0
+            input_error_l2_max = (
+                float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0
+            )
 
-        integrity: dict = {
-            "screened": self.screen,
-            "policy": self.on_corruption.value,
-            "recoveries": recoveries,
-            "degraded": bool(blob.metadata.get("degraded", False)),
-        }
-        if self.screen:
-            screen_finite(outputs, stage="qoi", name="outputs")
+            integrity: dict = {
+                "screened": self.screen,
+                "policy": self.on_corruption.value,
+                "recoveries": recoveries,
+                "degraded": bool(blob.metadata.get("degraded", False)),
+            }
             # The codec's contract is over the stored field array in its
             # native dtype — measure it there, not after the sample cast.
-            field_delta = np.asarray(fields, dtype=np.float64) - np.asarray(
-                reconstructed, dtype=np.float64
-            )
-            if self._mode.is_pointwise:
-                achieved = float(np.abs(field_delta).max()) if field_delta.size else 0.0
+            if self.screen or tracer.enabled:
+                field_delta = np.asarray(fields, dtype=np.float64) - np.asarray(
+                    reconstructed, dtype=np.float64
+                )
+                if self._mode.is_pointwise:
+                    achieved = float(np.abs(field_delta).max()) if field_delta.size else 0.0
+                else:
+                    achieved = float(np.linalg.norm(field_delta))
             else:
-                achieved = float(np.linalg.norm(field_delta))
-            integrity["input_contract"] = {
-                "norm": self.plan.norm,
-                "expected": float(self.plan.input_tolerance),
-                "achieved": achieved,
-            }
-            check_contract(
-                achieved,
-                self.plan.input_tolerance,
+                achieved = float("nan")
+            with tracer.span(
+                "pipeline.guard",
                 codec=self.codec.name,
-                stage="decompress",
                 norm=self.plan.norm,
-                slack=1e-9,
+                predicted_bound=float(self.plan.input_tolerance),
+                observed_error=achieved,
+                contract_slack=float(self.plan.input_tolerance) - achieved,
+                screened=self.screen,
+            ) as guard_span:
+                if self.screen:
+                    screen_finite(outputs, stage="qoi", name="outputs")
+                    integrity["input_contract"] = {
+                        "norm": self.plan.norm,
+                        "expected": float(self.plan.input_tolerance),
+                        "achieved": achieved,
+                    }
+                    check_contract(
+                        achieved,
+                        self.plan.input_tolerance,
+                        codec=self.codec.name,
+                        stage="decompress",
+                        norm=self.plan.norm,
+                        slack=1e-9,
+                    )
+
+            result = PipelineResult(
+                outputs=outputs,
+                reference_outputs=reference,
+                blob=blob,
+                plan=self.plan,
+                compress_seconds=compress_seconds,
+                decompress_seconds=decompress_seconds,
+                inference_seconds=inference_seconds,
+                input_error_linf=input_error_linf,
+                input_error_l2_max=input_error_l2_max,
+                extra={"integrity": integrity},
             )
 
-        return PipelineResult(
-            outputs=outputs,
-            reference_outputs=reference,
-            blob=blob,
-            plan=self.plan,
-            compress_seconds=compress_seconds,
-            decompress_seconds=decompress_seconds,
-            inference_seconds=inference_seconds,
-            input_error_linf=input_error_linf,
-            input_error_l2_max=input_error_l2_max,
-            extra={"integrity": integrity},
+            if tracer.enabled or metrics.enabled:
+                self._record_telemetry(
+                    tracer, metrics, result, spans, inference_span, guard_span, root,
+                    observed_input_error=achieved,
+                )
+        return result
+
+    def _record_telemetry(
+        self,
+        tracer,
+        metrics,
+        result: PipelineResult,
+        spans: dict,
+        inference_span,
+        guard_span,
+        root,
+        observed_input_error: float,
+    ) -> None:
+        """Post-hoc span enrichment + counters (observability on only).
+
+        Observed errors are only known once the reconstruction and the
+        reference outputs exist, so the stage spans created earlier are
+        completed here — every stage span carries both its predicted
+        bound and the error actually observed.
+        """
+        qoi_error = result.qoi_error(self.plan.norm, relative=False)
+        input_error = (
+            result.input_error_linf
+            if self._mode.is_pointwise
+            else result.input_error_l2_max
         )
+        if "compress" in spans:
+            spans["compress"].set(observed_error=observed_input_error)
+        if "decompress" in spans:
+            spans["decompress"].set(observed_error=observed_input_error)
+        inference_span.set(observed_error=qoi_error)
+        guard_span.set(qoi_predicted_bound=float(self.plan.qoi_tolerance), qoi_observed_error=qoi_error)
+        root.set(
+            compression_ratio=result.compression_ratio,
+            predicted_bound=float(self.plan.qoi_tolerance),
+            observed_error=qoi_error,
+            input_error=input_error,
+            recoveries=result.extra["integrity"]["recoveries"],
+            degraded=result.extra["integrity"]["degraded"],
+        )
+        metrics.counter("pipeline_executions_total", codec=self.codec.name).inc()
+        for stage, seconds in (
+            ("compress", result.compress_seconds),
+            ("decompress", result.decompress_seconds),
+            ("inference", result.inference_seconds),
+        ):
+            metrics.histogram("pipeline_stage_seconds", stage=stage).observe(seconds)
+        metrics.gauge("pipeline_compression_ratio", codec=self.codec.name).set(
+            result.compression_ratio
+        )
+        metrics.gauge("pipeline_qoi_error", norm=self.plan.norm).set(qoi_error)

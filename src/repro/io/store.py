@@ -27,7 +27,13 @@ import numpy as np
 
 from ..compress import CompressedBlob, Compressor, ErrorBoundMode, get_compressor
 from ..exceptions import CompressionError, IntegrityError
-from ..resilience.policy import CorruptionPolicy, resolve_policy
+from ..obs import get_tracer
+from ..resilience.policy import (
+    CorruptionPolicy,
+    record_recovery,
+    record_retry,
+    resolve_policy,
+)
 from .serialization import blob_from_bytes, blob_to_bytes
 
 __all__ = ["DatasetStore"]
@@ -110,8 +116,12 @@ class DatasetStore:
         if isinstance(codec, str) or codec is None:
             codec = get_compressor(codec or self.default_codec)
         array = np.asarray(array)
-        blob = codec.compress(array, tolerance, mode)
-        self._write_blob(path, blob)
+        with get_tracer().span(
+            "store.put", entry=name, codec=codec.name, tolerance=float(tolerance)
+        ) as span:
+            blob = codec.compress(array, tolerance, mode)
+            self._write_blob(path, blob)
+            span.set(compression_ratio=blob.compression_ratio, payload_bytes=blob.nbytes)
         self._contracts[name] = _Contract(float(tolerance), mode, codec.name)
         if keep_source:
             frozen = array.copy()
@@ -150,21 +160,27 @@ class DatasetStore:
         runs, bounded by ``max_retries``.
         """
         failure: CompressionError | None = None
-        for attempt in range(self.max_retries + 1):
-            try:
-                blob = self.get_blob(name)
-                codec = get_compressor(blob.codec)
-                return codec.safe_decompress(blob, screen=screen)
-            except IntegrityError as exc:
-                failure = exc
-            except CompressionError as exc:
-                if not os.path.exists(self._path(name)):
-                    raise  # missing entry: not a corruption event
-                failure = exc
-            if self.on_corruption is CorruptionPolicy.RAISE or attempt >= self.max_retries:
-                break
-            if not self._repair(name):
-                break
+        with get_tracer().span("store.get", entry=name, policy=self.on_corruption.value) as span:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    blob = self.get_blob(name)
+                    codec = get_compressor(blob.codec)
+                    data = codec.safe_decompress(blob, screen=screen)
+                    span.set(attempts=attempt + 1, recovered=attempt > 0)
+                    if attempt:
+                        record_recovery(self.on_corruption, "store")
+                    return data
+                except IntegrityError as exc:
+                    failure = exc
+                except CompressionError as exc:
+                    if not os.path.exists(self._path(name)):
+                        raise  # missing entry: not a corruption event
+                    failure = exc
+                if self.on_corruption is CorruptionPolicy.RAISE or attempt >= self.max_retries:
+                    break
+                record_retry("store")
+                if not self._repair(name):
+                    break
         assert failure is not None
         if self.on_corruption.recovers:
             raise IntegrityError(

@@ -110,6 +110,16 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, depth first.
+
+        The root module is yielded under the empty name, mirroring the
+        familiar torch convention; children are dot-qualified.
+        """
+        yield (prefix[:-1] if prefix else "", self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
     def children(self) -> Iterator["Module"]:
         yield from self._modules.values()
 

@@ -1,0 +1,97 @@
+"""Per-layer forward/backward timing hooks for the nn substrate.
+
+``attach_layer_timing`` wraps every leaf module's bound ``forward`` and
+``backward`` with a timing shim that records observations into
+``nn_layer_forward_seconds{layer=...}`` / ``nn_layer_backward_seconds``
+histograms.  The wrapping is per *instance* (an attribute shadowing the
+class method), so untouched models pay nothing and ``detach()`` restores
+the original methods exactly.
+
+The trainer attaches these automatically while observability is enabled,
+giving the per-layer time breakdown the paper's Fig. 2 motivates without
+a profiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import NULL_METRICS
+
+__all__ = ["LayerTimingHandle", "attach_layer_timing"]
+
+
+class LayerTimingHandle:
+    """Undo token returned by :func:`attach_layer_timing`."""
+
+    def __init__(self) -> None:
+        self._wrapped: list[tuple[object, str]] = []
+
+    def _register(self, module: object, attr: str) -> None:
+        self._wrapped.append((module, attr))
+
+    @property
+    def n_wrapped(self) -> int:
+        return len(self._wrapped)
+
+    def detach(self) -> None:
+        """Remove every shim, restoring the original class methods."""
+        for module, attr in self._wrapped:
+            try:
+                object.__delattr__(module, attr)
+            except AttributeError:  # pragma: no cover - already detached
+                pass
+        self._wrapped.clear()
+
+    def __enter__(self) -> "LayerTimingHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+
+def attach_layer_timing(model, metrics=None, prefix: str = "nn_layer") -> LayerTimingHandle:
+    """Time every leaf layer's ``forward``/``backward`` into histograms.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.module.Module` tree; only leaves (modules
+        without children) are wrapped, so container overhead is not
+        double-counted.
+    metrics:
+        Target registry; defaults to the globally installed one.
+    prefix:
+        Metric name prefix (``{prefix}_forward_seconds`` etc.).
+    """
+    if metrics is None:
+        from . import get_metrics
+
+        metrics = get_metrics()
+    handle = LayerTimingHandle()
+    if metrics is NULL_METRICS:
+        return handle  # nothing to record into; leave the model untouched
+    for name, module in model.named_modules():
+        if next(module.children(), None) is not None:
+            continue
+        label = name or type(module).__name__
+        for attr in ("forward", "backward"):
+            original = getattr(module, attr, None)
+            if original is None:
+                continue
+            histogram = metrics.histogram(f"{prefix}_{attr}_seconds", layer=label)
+            object.__setattr__(module, attr, _timed(original, histogram))
+            handle._register(module, attr)
+    return handle
+
+
+def _timed(fn, histogram):
+    def wrapped(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    wrapped.__wrapped__ = fn
+    return wrapped

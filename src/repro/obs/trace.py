@@ -1,0 +1,259 @@
+"""Hierarchical tracer: nested spans with JSONL export and a text tree.
+
+A :class:`Span` measures one named region of work (wall-clock duration
+plus free-form attributes); a :class:`Tracer` maintains the active span
+stack so nested regions become a tree.  The paper's Fig. 2 asks *where
+inference time goes* — spans answer that at runtime with the same
+vocabulary the figure uses (``pipeline.compress``, ``pipeline.decompress``,
+``pipeline.inference``, ``pipeline.guard``).
+
+When observability is off the :class:`NullTracer` stands in: its
+``span()`` returns a shared, attribute-less singleton whose enter/exit
+and ``set()`` do nothing, so instrumented hot paths cost one method call
+and no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+
+
+class Span:
+    """One timed region: name, wall time, attributes, position in the tree.
+
+    Spans are context managers handed out by :meth:`Tracer.span`;
+    attributes may be attached at creation, inside the block via
+    :meth:`set`, or after exit (post-hoc enrichment, e.g. an observed
+    error that is only measurable later in the pipeline).
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attributes",
+        "start_unix",
+        "duration_s",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None, depth: int, tracer: "Tracer", attributes: dict) -> None:
+        self.name = str(name)
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attributes = attributes
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_unix = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        self._tracer._finish(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, {self.attributes})"
+
+
+class Tracer:
+    """Collects spans into a tree; single-threaded by design.
+
+    ``span()`` opens a child of the currently active span (the enclosing
+    ``with`` block).  Finished spans are retained in completion order in
+    :attr:`finished`; root spans (no parent) in :attr:`roots` in start
+    order.
+    """
+
+    #: instrumented code may branch on this to skip expensive attribute
+    #: computation (the NullTracer reports False)
+    enabled = True
+
+    def __init__(self) -> None:
+        self.finished: list[Span] = []
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attributes) -> Span:
+        """Open a new span as a child of the current one (context manager)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=0 if parent is None else parent.depth + 1,
+            tracer=self,
+            attributes=attributes,
+        )
+        self._next_id += 1
+        if parent is None:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost span whose ``with`` block is active, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _finish(self, span: Span) -> None:
+        # Exiting out of order (an inner span leaked past its parent's
+        # exit) is tolerated: pop down to the span being closed.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.finished.append(span)
+
+    # -- queries ---------------------------------------------------------
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in completion order."""
+        return [span for span in self.finished if span.name == name]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.finished if s.parent_id == span.span_id]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of all finished spans named ``name``."""
+        return sum(span.duration_s for span in self.find(name))
+
+    # -- export ----------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.finished]
+
+    def export_jsonl(self, path: str) -> None:
+        """Write one JSON object per finished span (completion order)."""
+        with open(path, "w") as handle:
+            for span in self.finished:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write("\n")
+
+    def render_tree(self, min_fraction: float = 0.0) -> str:
+        """Text tree of all root spans with durations and attributes.
+
+        ``min_fraction`` prunes children consuming less than that share
+        of their parent (flame-graph style focus on the hot path).
+        """
+        by_parent: dict[int | None, list[Span]] = {}
+        for span in self.finished:
+            by_parent.setdefault(span.parent_id, []).append(span)
+        lines: list[str] = []
+
+        def walk(span: Span, indent: int, parent_duration: float | None) -> None:
+            share = ""
+            if parent_duration and parent_duration > 0:
+                fraction = span.duration_s / parent_duration
+                if fraction < min_fraction:
+                    return
+                share = f"  {100 * fraction:5.1f}%"
+            attrs = " ".join(f"{k}={_fmt_value(v)}" for k, v in span.attributes.items())
+            lines.append(
+                f"{'  ' * indent}{span.name:<{max(1, 40 - 2 * indent)}} "
+                f"{1e3 * span.duration_s:9.3f} ms{share}"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+            for child in sorted(
+                by_parent.get(span.span_id, []), key=lambda s: s.start_unix
+            ):
+                walk(child, indent + 1, span.duration_s)
+
+        for root in self.roots:
+            walk(root, 0, None)
+        return "\n".join(lines)
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible no-op tracer installed while observability is off."""
+
+    enabled = False
+    finished: tuple = ()
+    roots: tuple = ()
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def find(self, name: str) -> list:
+        return []
+
+    def children(self, span) -> list:
+        return []
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0
+
+    def to_dicts(self) -> list:
+        return []
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w"):
+            pass
+
+    def render_tree(self, min_fraction: float = 0.0) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load spans exported by :meth:`Tracer.export_jsonl`."""
+    spans: list[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans

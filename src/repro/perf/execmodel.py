@@ -18,6 +18,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn.module import Module
+from ..obs import get_tracer
 from .hardware import GPUProfile
 
 __all__ = ["ExecutionModel", "StageBreakdown", "measure_inference_seconds"]
@@ -42,6 +43,21 @@ class StageBreakdown:
             "preprocess": self.preprocess_seconds / total,
             "execute": self.execute_seconds / total,
         }
+
+    @classmethod
+    def from_phases(cls, phases: dict[str, float]) -> "StageBreakdown":
+        """Build a breakdown from measured phase durations.
+
+        Accepts the ``phases`` dict of a :class:`~repro.perf.timer.Stopwatch`
+        (possibly built via ``Stopwatch.from_spans``), so the Fig. 2
+        figure path can consume real telemetry instead of only the
+        analytic model.  Missing stages count as zero.
+        """
+        return cls(
+            load_seconds=float(phases.get("load", 0.0)),
+            preprocess_seconds=float(phases.get("preprocess", 0.0)),
+            execute_seconds=float(phases.get("execute", 0.0)),
+        )
 
 
 class ExecutionModel:
@@ -122,11 +138,18 @@ def measure_inference_seconds(
     if rng is None:
         rng = np.random.default_rng(0)
     model.eval()
-    batch = rng.uniform(-1.0, 1.0, size=(batch_size,) + input_shape).astype(np.float32)
-    model(batch)  # warm-up
-    timings = []
-    for __ in range(repeats):
-        start = time.perf_counter()
-        model(batch)
-        timings.append(time.perf_counter() - start)
-    return float(np.median(timings))
+    tracer = get_tracer()
+    with tracer.span(
+        "perf.measure_inference", batch_size=batch_size, repeats=repeats
+    ) as span:
+        batch = rng.uniform(-1.0, 1.0, size=(batch_size,) + input_shape).astype(np.float32)
+        model(batch)  # warm-up
+        timings = []
+        for repeat in range(repeats):
+            with tracer.span("execute", repeat=repeat):
+                start = time.perf_counter()
+                model(batch)
+                timings.append(time.perf_counter() - start)
+        median = float(np.median(timings))
+        span.set(median_seconds=median)
+    return median

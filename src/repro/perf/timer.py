@@ -1,4 +1,10 @@
-"""Minimal wall-clock measurement helpers."""
+"""Minimal wall-clock measurement helpers.
+
+``Stopwatch`` now shares its source of truth with the observability
+layer: give it a tracer and every lap becomes a span (so the Fig. 2
+benchmark and production traces aggregate the *same* measurements), or
+build one from recorded spans with :meth:`Stopwatch.from_spans`.
+"""
 
 from __future__ import annotations
 
@@ -29,25 +35,67 @@ class Timer:
         self.seconds = time.perf_counter() - self._start
 
 
+class _Lap:
+    """One lap of a :class:`Stopwatch` phase (context manager)."""
+
+    __slots__ = ("_stopwatch", "_name", "_start", "_span")
+
+    def __init__(self, stopwatch: "Stopwatch", name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start = 0.0
+        self._span = None
+
+    def __enter__(self) -> "_Lap":
+        depths = self._stopwatch._depths
+        depths[self._name] = depths.get(self._name, 0) + 1
+        if self._stopwatch.tracer is not None:
+            self._span = self._stopwatch.tracer.span(self._name)
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+        depths = self._stopwatch._depths
+        depths[self._name] -= 1
+        # Reentrant laps of the same phase: the outermost lap already
+        # includes the inner laps' time, so only it may accumulate —
+        # otherwise nested laps double-count the phase.
+        if depths[self._name] == 0:
+            phases = self._stopwatch.phases
+            phases[self._name] = phases.get(self._name, 0.0) + elapsed
+            del depths[self._name]
+
+
 @dataclass
 class Stopwatch:
-    """Accumulates named phase durations across repeated laps."""
+    """Accumulates named phase durations across repeated laps.
+
+    Parameters
+    ----------
+    phases:
+        Accumulated seconds per phase name.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, every lap
+        also opens a span of the same name, so stopwatch totals and the
+        trace tree are two views of one measurement.
+    """
 
     phases: dict[str, float] = field(default_factory=dict)
+    tracer: object | None = None
+    _depths: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
-    def lap(self, name: str):
-        """Context manager adding this lap's time to phase ``name``."""
-        stopwatch = self
+    def lap(self, name: str) -> _Lap:
+        """Context manager adding this lap's time to phase ``name``.
 
-        class _Lap:
-            def __enter__(self) -> None:
-                self._start = time.perf_counter()
-
-            def __exit__(self, *exc_info) -> None:
-                elapsed = time.perf_counter() - self._start
-                stopwatch.phases[name] = stopwatch.phases.get(name, 0.0) + elapsed
-
-        return _Lap()
+        Nested/reentrant laps of the same name are counted once (the
+        outermost lap's duration); laps that exit via an exception still
+        record the time spent inside them.
+        """
+        return _Lap(self, name)
 
     def total(self) -> float:
         return sum(self.phases.values())
@@ -57,3 +105,35 @@ class Stopwatch:
         if total == 0:
             return {name: 0.0 for name in self.phases}
         return {name: seconds / total for name, seconds in self.phases.items()}
+
+    @classmethod
+    def from_spans(cls, source) -> "Stopwatch":
+        """Build a stopwatch from recorded spans (one phase per name).
+
+        ``source`` may be a :class:`~repro.obs.trace.Tracer`, an iterable
+        of :class:`~repro.obs.trace.Span`, or an iterable of dicts as
+        produced by JSONL export.  To mirror :meth:`lap`'s reentrancy
+        rule, a span nested under an ancestor of the same name is
+        skipped — the ancestor's duration already contains it.
+        """
+        spans = getattr(source, "finished", source)
+        rows = []
+        for span in spans:
+            if isinstance(span, dict):
+                rows.append((span["span_id"], span["parent_id"], span["name"], span["duration_s"]))
+            else:
+                rows.append((span.span_id, span.parent_id, span.name, span.duration_s))
+        names = {span_id: name for span_id, __, name, __dur in rows}
+        parents = {span_id: parent for span_id, parent, __, __dur in rows}
+        watch = cls()
+        for span_id, parent_id, name, duration in rows:
+            ancestor = parent_id
+            shadowed = False
+            while ancestor is not None:
+                if names.get(ancestor) == name:
+                    shadowed = True
+                    break
+                ancestor = parents.get(ancestor)
+            if not shadowed:
+                watch.phases[name] = watch.phases.get(name, 0.0) + duration
+        return watch

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import QuantizationError
+from ..obs import get_metrics, get_tracer
 from ..nn.conv import Conv2d, SpectralConv2d
 from ..nn.linear import Linear, SpectralLinear
 from ..nn.module import Module
@@ -165,6 +166,26 @@ def quantize_model(
     QuantizedModel
         Independent inference model plus step-size metadata for the bound.
     """
+    with get_tracer().span("quant.quantize_model") as span:
+        quantized = _quantize_model_impl(model, fmt, quantize_shortcuts)
+        span.set(
+            layers=len(quantized.layer_names),
+            formats=",".join(sorted({f.name for f in quantized.formats})),
+            original_bytes=quantized.original_bytes,
+            quantized_bytes=quantized.quantized_bytes,
+        )
+    metrics = get_metrics()
+    metrics.counter("quantizations_total").inc()
+    for fmt_name, step in zip((f.name for f in quantized.formats), quantized.step_sizes):
+        metrics.histogram("quant_step_size", fmt=fmt_name).observe(step)
+    return quantized
+
+
+def _quantize_model_impl(
+    model: Module,
+    fmt: NumericFormat | Sequence[NumericFormat],
+    quantize_shortcuts: bool,
+) -> QuantizedModel:
     frozen = materialize(model)
     frozen.eval()
     layers = quantizable_layers(frozen)

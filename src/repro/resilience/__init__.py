@@ -28,10 +28,12 @@ from .inject import (
     poison_nan,
     truncate,
 )
-from .policy import CorruptionPolicy, resolve_policy
+from .policy import CorruptionPolicy, record_recovery, record_retry, resolve_policy
 
 __all__ = [
     "CorruptionPolicy",
+    "record_recovery",
+    "record_retry",
     "FaultInjector",
     "blob_corruptions",
     "check_contract",

@@ -19,8 +19,9 @@ from __future__ import annotations
 from enum import Enum
 
 from ..exceptions import ConfigurationError
+from ..obs import get_metrics
 
-__all__ = ["CorruptionPolicy", "resolve_policy"]
+__all__ = ["CorruptionPolicy", "record_recovery", "record_retry", "resolve_policy"]
 
 
 class CorruptionPolicy(Enum):
@@ -34,6 +35,24 @@ class CorruptionPolicy(Enum):
     def recovers(self) -> bool:
         """Whether this policy attempts recovery instead of raising."""
         return self is not CorruptionPolicy.RAISE
+
+
+def record_retry(component: str) -> None:
+    """Count one recovery retry (``retries_total{component=...}``).
+
+    Emitted every time a degradation policy re-attempts a failed read —
+    per attempt, not per incident, so a flaky medium shows up as a high
+    retry-to-recovery ratio.
+    """
+    get_metrics().counter("retries_total", component=component).inc()
+
+
+def record_recovery(policy: CorruptionPolicy, component: str) -> None:
+    """Count one successful policy activation
+    (``recoveries_total{policy=...,component=...}``)."""
+    get_metrics().counter(
+        "recoveries_total", policy=policy.value, component=component
+    ).inc()
 
 
 def resolve_policy(value: "CorruptionPolicy | str") -> CorruptionPolicy:

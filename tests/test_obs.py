@@ -1,0 +1,490 @@
+"""Tests for the observability layer: tracing, metrics, logging, hooks.
+
+Covers span nesting and ordering, JSONL round-trips, histogram
+percentiles, the Prometheus exposition format, the structured logger,
+per-layer timing hooks, the global enable/disable switchboard, and the
+near-zero cost of the disabled (null) mode.
+"""
+
+import json
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compress import ErrorBoundMode, SZCompressor
+from repro.core import InferencePipeline, TolerancePlanner
+from repro.core.errorflow import ErrorFlowAnalyzer
+from repro.nn import MSELoss, SGD, Trainer
+from repro.obs import (
+    LEVELS,
+    Counter,
+    Gauge,
+    Histogram,
+    Logger,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Tracer,
+    attach_layer_timing,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    read_jsonl,
+    render_metrics_json,
+    set_log_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_log_level():
+    yield
+    set_log_level("info")
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+def test_span_nesting_parent_ids_and_depth():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    assert outer.parent_id is None and outer.depth == 0
+    assert middle.parent_id == outer.span_id and middle.depth == 1
+    assert inner.parent_id == middle.span_id and inner.depth == 2
+    # completion order: innermost finishes first
+    assert [s.name for s in tracer.finished] == ["inner", "middle", "outer"]
+    assert tracer.roots == [outer]
+    assert tracer.children(outer) == [middle]
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    a, b = tracer.find("a")[0], tracer.find("b")[0]
+    assert a.parent_id == root.span_id and b.parent_id == root.span_id
+    assert [c.name for c in tracer.children(root)] == ["a", "b"]
+
+
+def test_span_attributes_creation_set_and_posthoc():
+    tracer = Tracer()
+    with tracer.span("work", codec="sz") as span:
+        span.set(ratio=2.5)
+    span.set(observed_error=1e-4)  # post-hoc enrichment after exit
+    assert span.attributes == {"codec": "sz", "ratio": 2.5, "observed_error": 1e-4}
+
+
+def test_span_durations_and_total_seconds():
+    tracer = Tracer()
+    for __ in range(3):
+        with tracer.span("tick"):
+            time.sleep(0.001)
+    assert len(tracer.find("tick")) == 3
+    assert all(s.duration_s >= 0.001 for s in tracer.find("tick"))
+    assert tracer.total_seconds("tick") == pytest.approx(
+        sum(s.duration_s for s in tracer.find("tick"))
+    )
+    assert tracer.total_seconds("absent") == 0.0
+
+
+def test_tracer_current_tracks_active_span():
+    tracer = Tracer()
+    assert tracer.current() is None
+    with tracer.span("a") as a:
+        assert tracer.current() is a
+        with tracer.span("b") as b:
+            assert tracer.current() is b
+        assert tracer.current() is a
+    assert tracer.current() is None
+
+
+def test_span_survives_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert len(tracer.find("doomed")) == 1
+
+
+def test_out_of_order_exit_tolerated():
+    tracer = Tracer()
+    outer = tracer.span("outer").__enter__()
+    tracer.span("leaked").__enter__()  # never exited explicitly
+    outer.__exit__(None, None, None)  # pops the leaked span too
+    assert tracer.current() is None
+    assert "outer" in [s.name for s in tracer.finished]
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", codec="sz"):
+        with tracer.span("child") as child:
+            child.set(ratio=2.0)
+    path = str(tmp_path / "trace.jsonl")
+    tracer.export_jsonl(path)
+    rows = read_jsonl(path)
+    assert rows == tracer.to_dicts()
+    child_row = next(r for r in rows if r["name"] == "child")
+    assert child_row["attributes"] == {"ratio": 2.0}
+    assert child_row["parent_id"] == next(
+        r["span_id"] for r in rows if r["name"] == "root"
+    )
+    # each line is independently parseable JSON
+    with open(path) as handle:
+        assert all(json.loads(line) for line in handle if line.strip())
+
+
+def test_render_tree_structure_and_pruning():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("big"):
+            time.sleep(0.01)
+        with tracer.span("small", detail=1):
+            pass
+    tree = tracer.render_tree()
+    lines = tree.splitlines()
+    assert lines[0].startswith("root")
+    assert any(line.lstrip().startswith("big") for line in lines)
+    assert "[detail=1]" in tree
+    pruned = tracer.render_tree(min_fraction=0.5)
+    assert "big" in pruned and "small" not in pruned
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def test_counter_monotone():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13.0
+
+
+def test_histogram_exact_percentiles():
+    histogram = Histogram()
+    for value in range(1, 101):  # 1..100
+        histogram.observe(value)
+    assert histogram.count == 100
+    assert histogram.percentile(0) == 1
+    assert histogram.percentile(100) == 100
+    assert histogram.percentile(50) == pytest.approx(50.5)  # interpolated
+    assert histogram.percentile(90) == pytest.approx(90.1)
+    summary = histogram.summary()
+    assert summary["count"] == 100 and summary["min"] == 1 and summary["max"] == 100
+    assert summary["sum"] == pytest.approx(5050)
+
+
+def test_histogram_edge_cases():
+    empty = Histogram()
+    assert math.isnan(empty.percentile(50))
+    assert empty.summary() == {"count": 0, "sum": 0.0}
+    single = Histogram()
+    single.observe(7.0)
+    assert single.percentile(0) == single.percentile(100) == 7.0
+    with pytest.raises(ValueError):
+        single.percentile(101)
+
+
+def test_registry_label_series_are_distinct():
+    registry = MetricsRegistry()
+    registry.counter("recoveries_total", policy="fallback-lossless").inc()
+    registry.counter("recoveries_total", policy="recompress-from-source").inc(2)
+    assert registry.value("recoveries_total", policy="fallback-lossless") == 1
+    assert registry.value("recoveries_total", policy="recompress-from-source") == 2
+    assert registry.value("recoveries_total", policy="unknown") == 0.0
+    assert registry.value("never_touched") == 0.0
+
+
+def test_registry_same_series_is_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", route="x")
+    b = registry.counter("hits", route="x")
+    assert a is b
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x_total")
+
+
+def test_registry_to_json_shape():
+    registry = MetricsRegistry()
+    registry.counter("events_total", kind="a").inc(3)
+    registry.histogram("latency_seconds").observe(0.5)
+    payload = registry.to_json()
+    rows = {row["name"]: row for row in payload["metrics"]}
+    assert rows["events_total"]["value"] == 3
+    assert rows["events_total"]["labels"] == {"kind": "a"}
+    assert rows["latency_seconds"]["count"] == 1
+    assert rows["latency_seconds"]["p50"] == 0.5
+    # the document survives a JSON round-trip
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("events_total", kind="a").inc(3)
+    registry.gauge("ratio").set(2.5)
+    histogram = registry.histogram("latency_seconds", stage="compress")
+    histogram.observe(0.1)
+    histogram.observe(0.3)
+    text = registry.to_prometheus()
+    assert "# TYPE events_total counter" in text
+    assert 'events_total{kind="a"} 3' in text
+    assert "# TYPE ratio gauge" in text
+    assert "ratio 2.5" in text
+    assert "# TYPE latency_seconds summary" in text
+    assert 'latency_seconds{stage="compress",quantile="0.5"}' in text
+    assert 'latency_seconds_sum{stage="compress"}' in text
+    assert 'latency_seconds_count{stage="compress"} 2' in text
+    assert text.endswith("\n")
+
+
+def test_render_matches_saved_export():
+    registry = MetricsRegistry()
+    registry.counter("events_total").inc()
+    registry.histogram("latency_seconds").observe(0.25)
+    assert registry.render() == render_metrics_json(registry.to_json())
+    assert "events_total" in registry.render()
+    assert render_metrics_json({"metrics": []}) == "(no metrics recorded)"
+
+
+# -- global switchboard -----------------------------------------------------
+
+
+def test_defaults_are_null_objects():
+    assert get_tracer() is NULL_TRACER
+    assert get_metrics() is NULL_METRICS
+    assert not obs.enabled()
+
+
+def test_capture_installs_and_restores():
+    assert get_tracer() is NULL_TRACER
+    with obs.capture() as (tracer, metrics):
+        assert get_tracer() is tracer and get_metrics() is metrics
+        assert obs.enabled()
+        with tracer.span("inside"):
+            pass
+        metrics.counter("c").inc()
+    assert get_tracer() is NULL_TRACER and get_metrics() is NULL_METRICS
+    assert len(tracer.finished) == 1  # results outlive the scope
+
+
+def test_capture_nests_and_restores_outer():
+    with obs.capture() as (outer_tracer, __):
+        with obs.capture() as (inner_tracer, __m):
+            assert get_tracer() is inner_tracer
+        assert get_tracer() is outer_tracer
+
+
+def test_capture_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with obs.capture():
+            raise RuntimeError("boom")
+    assert get_tracer() is NULL_TRACER
+
+
+def test_null_tracer_is_allocation_free_and_cheap(tmp_path):
+    span_a = NULL_TRACER.span("a", attr=1)
+    span_b = NULL_TRACER.span("b")
+    assert span_a is span_b  # shared singleton: no per-call allocation
+    with span_a as entered:
+        assert entered.set(x=1) is entered
+    assert NULL_TRACER.find("a") == [] and NULL_TRACER.to_dicts() == []
+    assert NULL_TRACER.render_tree() == ""
+    path = str(tmp_path / "empty.jsonl")
+    NULL_TRACER.export_jsonl(path)
+    assert read_jsonl(path) == []
+    # the disabled hot path must stay near-zero: well under 5us per span
+    n = 20_000
+    start = time.perf_counter()
+    for __ in range(n):
+        with NULL_TRACER.span("x"):
+            pass
+    assert (time.perf_counter() - start) / n < 5e-6
+
+
+def test_null_metrics_absorbs_everything():
+    instrument = NULL_METRICS.counter("a", k="v")
+    assert instrument is NULL_METRICS.histogram("b")
+    instrument.inc()
+    instrument.observe(1.0)
+    instrument.set(2.0)
+    assert instrument.value == 0.0
+    assert NULL_METRICS.to_json() == {"metrics": []}
+    assert NULL_METRICS.to_prometheus() == ""
+
+
+def test_disabled_codec_path_records_nothing(smooth_field_2d):
+    codec = SZCompressor()
+    codec.compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+    assert get_tracer() is NULL_TRACER  # still disabled, nothing leaked
+    with obs.capture() as (tracer, metrics):
+        pass  # the pre-capture compress left no trace
+    assert tracer.finished == [] and metrics.names() == []
+
+
+# -- logger -----------------------------------------------------------------
+
+
+def test_plain_format_matches_print(capsys):
+    get_logger("t").info("compression ratio: 2.21x")
+    assert capsys.readouterr().out == "compression ratio: 2.21x\n"
+
+
+def test_plain_format_appends_context(capsys):
+    get_logger("t").info("loaded", entries=3, codec="sz")
+    assert capsys.readouterr().out == "loaded entries=3 codec=sz\n"
+
+
+def test_warning_and_error_go_to_stderr(capsys):
+    logger = get_logger("t")
+    logger.warning("watch out")
+    logger.error("TOLERANCE VIOLATED")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "watch out\nTOLERANCE VIOLATED\n"
+
+
+def test_level_threshold_filters(capsys):
+    logger = get_logger("t")
+    logger.debug("hidden")
+    assert capsys.readouterr().out == ""
+    set_log_level("debug")
+    logger.debug("visible")
+    assert capsys.readouterr().out == "visible\n"
+    set_log_level("error")
+    logger.info("hidden again")
+    assert capsys.readouterr().out == ""
+    assert logger.is_enabled_for("error") and not logger.is_enabled_for("info")
+
+
+def test_logfmt_format_and_quoting(capsys):
+    get_logger("pipe", fmt="logfmt").info("stage done", stage="compress", note="two words")
+    out = capsys.readouterr().out
+    assert out == 'level=info logger=pipe msg="stage done" stage=compress note="two words"\n'
+
+
+def test_logger_registry_and_validation():
+    assert get_logger("same") is get_logger("same")
+    assert get_logger("same") is not get_logger("same", fmt="logfmt")
+    with pytest.raises(ValueError):
+        Logger("x", fmt="xml")
+    with pytest.raises(ValueError, match="unknown log level"):
+        set_log_level("loud")
+    assert set(LEVELS) == {"debug", "info", "warning", "error"}
+
+
+# -- layer timing hooks -----------------------------------------------------
+
+
+def test_attach_layer_timing_records_and_detaches(tiny_mlp, rng):
+    registry = MetricsRegistry()
+    batch = rng.uniform(-1, 1, (8, 6)).astype(np.float32)
+    with attach_layer_timing(tiny_mlp, metrics=registry) as handle:
+        assert handle.n_wrapped > 0
+        tiny_mlp(batch)
+    forward_series = [
+        row for row in registry.to_json()["metrics"]
+        if row["name"] == "nn_layer_forward_seconds"
+    ]
+    assert len(forward_series) >= 6  # one series per leaf layer
+    assert all(row["count"] == 1 for row in forward_series)
+    # detach restored the class methods: no instance attribute remains
+    for __, module in tiny_mlp.named_modules():
+        assert "forward" not in vars(module)
+    assert handle.n_wrapped == 0
+
+
+def test_attach_layer_timing_null_metrics_is_untouched(tiny_mlp):
+    handle = attach_layer_timing(tiny_mlp, metrics=NULL_METRICS)
+    assert handle.n_wrapped == 0
+    for __, module in tiny_mlp.named_modules():
+        assert "forward" not in vars(module)
+
+
+# -- instrumented subsystems ------------------------------------------------
+
+
+def test_codec_spans_and_metrics(smooth_field_2d):
+    codec = SZCompressor()
+    with obs.capture() as (tracer, metrics):
+        blob = codec.compress(smooth_field_2d, 1e-3, ErrorBoundMode.ABS)
+        codec.decompress(blob)
+    compress_span = tracer.find("codec.compress")[0]
+    assert compress_span.attributes["codec"] == "sz"
+    assert compress_span.attributes["ratio"] == pytest.approx(blob.compression_ratio)
+    assert len(tracer.find("codec.decompress")) == 1
+    assert metrics.value("codec_compress_total", codec="sz") == 1
+    assert metrics.value("codec_decompress_total", codec="sz") == 1
+
+
+def test_pipeline_spans_carry_bounds_and_observed_errors(trained_spectral_mlp, rng):
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp, n_input=5)
+    plan = TolerancePlanner(analyzer).plan(1e-2, norm="linf", quant_fraction=0.5)
+    pipe = InferencePipeline(trained_spectral_mlp, SZCompressor(), plan)
+    fields = rng.uniform(-1, 1, (5, 16, 16)).astype(np.float32)
+    with obs.capture() as (tracer, metrics):
+        result = pipe.execute(fields)
+    root = tracer.find("pipeline.execute")[0]
+    assert root.attributes["codec"] == "sz"
+    assert root.attributes["compression_ratio"] == pytest.approx(result.compression_ratio)
+    # the acceptance criterion: every stage span carries both the
+    # predicted bound and the observed error
+    for stage in ("pipeline.compress", "pipeline.decompress", "pipeline.inference", "pipeline.guard"):
+        spans = tracer.find(stage)
+        assert len(spans) == 1, stage
+        assert "predicted_bound" in spans[0].attributes, stage
+        assert "observed_error" in spans[0].attributes, stage
+    guard = tracer.find("pipeline.guard")[0]
+    assert guard.attributes["observed_error"] <= guard.attributes["predicted_bound"]
+    assert guard.attributes["contract_slack"] >= 0
+    assert metrics.value("pipeline_executions_total", codec="sz") == 1
+    stage_rows = [
+        row for row in metrics.to_json()["metrics"] if row["name"] == "pipeline_stage_seconds"
+    ]
+    assert {row["labels"]["stage"] for row in stage_rows} == {
+        "compress", "decompress", "inference",
+    }
+
+
+def test_trainer_spans_and_layer_timing(tiny_mlp, rng):
+    inputs = rng.uniform(-1, 1, (64, 6)).astype(np.float32)
+    targets = rng.uniform(-1, 1, (64, 4)).astype(np.float32)
+    trainer = Trainer(tiny_mlp, MSELoss(), SGD(tiny_mlp.parameters(), lr=0.01))
+    with obs.capture() as (tracer, metrics):
+        trainer.fit(inputs, targets, epochs=2, batch_size=32, rng=rng)
+    fit = tracer.find("trainer.fit")[0]
+    assert fit.attributes["epochs_run"] == 2
+    epochs = tracer.find("trainer.epoch")
+    assert [s.attributes["epoch"] for s in epochs] == [0, 1]
+    assert all(s.parent_id == fit.span_id for s in epochs)
+    assert metrics.value("train_steps_total") == 4  # 2 epochs x 2 batches
+    layer_rows = [
+        row for row in metrics.to_json()["metrics"]
+        if row["name"] == "nn_layer_forward_seconds"
+    ]
+    assert layer_rows and all(row["count"] > 0 for row in layer_rows)
+    # hooks were detached after fit: plain training leaves no shims
+    for __, module in tiny_mlp.named_modules():
+        assert "forward" not in vars(module)

@@ -474,6 +474,124 @@ def test_pipeline_zfp_also_guarded(planned, field_batch):
     assert result.extra["integrity"]["input_contract"]["achieved"] <= plan.input_tolerance
 
 
+# -- resilience event counters ------------------------------------------------
+def test_counters_raise_policy_counts_integrity_failure(planned, field_batch, monkeypatch):
+    from repro import obs
+
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def poisoning(self, blob):
+        return poison_nan(original(self, blob), fraction=0.02, seed=5)
+
+    monkeypatch.setattr(SZCompressor, "decompress", poisoning)
+    pipe = InferencePipeline(model, SZCompressor(), plan)
+    with obs.capture() as (__, metrics):
+        with pytest.raises(IntegrityError):
+            pipe.execute(field_batch)
+    assert metrics.value("integrity_failures_total", stage="decompress") == 1
+    assert metrics.value("retries_total", component="pipeline") == 0
+    assert metrics.value(
+        "recoveries_total", policy="raise", component="pipeline"
+    ) == 0
+
+
+def test_counters_fallback_lossless_recovery(planned, field_batch, monkeypatch):
+    from repro import obs
+
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def poisoning(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data
+        return poison_nan(data, fraction=0.02, seed=5)
+
+    monkeypatch.setattr(SZCompressor, "decompress", poisoning)
+    pipe = InferencePipeline(
+        model, SZCompressor(), plan, on_corruption="fallback-lossless"
+    )
+    with obs.capture() as (__, metrics):
+        pipe.execute(field_batch)
+    assert metrics.value("integrity_failures_total", stage="decompress") == 1
+    assert metrics.value("retries_total", component="pipeline") == 1
+    assert metrics.value(
+        "recoveries_total", policy="fallback-lossless", component="pipeline"
+    ) == 1
+
+
+def test_counters_recompress_transient_then_budget_exhaustion(
+    planned, field_batch, monkeypatch
+):
+    from repro import obs
+
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def always_poisoned(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data
+        return poison_nan(data, fraction=0.01, seed=4)
+
+    monkeypatch.setattr(SZCompressor, "decompress", always_poisoned)
+    pipe = InferencePipeline(
+        model, SZCompressor(), plan, on_corruption="recompress-from-source", max_retries=2
+    )
+    with obs.capture() as (__, metrics):
+        result = pipe.execute(field_batch)
+    assert result.extra["integrity"]["recoveries"] == 3
+    # every lossy attempt failed the finite screen...
+    assert metrics.value("integrity_failures_total", stage="decompress") == 3
+    # ...each re-attempt (2 lossy retries + the lossless rescue) was counted...
+    assert metrics.value("retries_total", component="pipeline") == 3
+    # ...but only the attempt that finally produced clean data counts as
+    # a successful policy activation
+    assert metrics.value(
+        "recoveries_total", policy="recompress-from-source", component="pipeline"
+    ) == 1
+
+
+def test_counters_contract_violation(planned, field_batch, monkeypatch):
+    from repro import obs
+
+    model, plan = planned
+    original = SZCompressor.decompress
+
+    def overshooting(self, blob):
+        data = original(self, blob)
+        if blob.metadata.get("lossless"):
+            return data
+        return data + 10.0 * plan.input_tolerance
+
+    monkeypatch.setattr(SZCompressor, "decompress", overshooting)
+    pipe = InferencePipeline(model, SZCompressor(), plan)
+    with obs.capture() as (__, metrics):
+        with pytest.raises(ContractViolation):
+            pipe.execute(field_batch)
+    assert metrics.value(
+        "contract_violations_total", stage="decompress", codec="sz"
+    ) == 1
+
+
+def test_counters_store_recovery(tmp_path, smooth_field_2d):
+    from repro import obs
+
+    store = DatasetStore(str(tmp_path), on_corruption="fallback-lossless")
+    store.put("f", smooth_field_2d, tolerance=1e-3, keep_source=True)
+    corrupt_file(_rblob_path(store, "f"), lambda b: corrupt_payload_byte(b, 0))
+    with obs.capture() as (tracer, metrics):
+        store.get("f")
+    assert metrics.value("retries_total", component="store") == 1
+    assert metrics.value(
+        "recoveries_total", policy="fallback-lossless", component="store"
+    ) == 1
+    get_span = tracer.find("store.get")[0]
+    assert get_span.attributes["recovered"] is True
+    assert get_span.attributes["attempts"] == 2  # failed read + clean re-read
+
+
 # -- safe_decompress --------------------------------------------------------
 def test_safe_decompress_truncated_lossless_payload(smooth_field_2d):
     from repro.compress.base import CompressedBlob
