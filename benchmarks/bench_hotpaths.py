@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Micro-benchmarks for the PR-4 hot paths.
+
+Three paths are timed and written as JSON rows of
+``{path, config, seconds, throughput_mb_s}`` (see docs/PERFORMANCE.md
+for how to read the output):
+
+* ``huffman_decode``      — vectorized table-walk decoder vs the retained
+  scalar ``_decode_reference`` on a peaked 1M-symbol stream;
+* ``bound_eval``          — a planner-style format x fraction sweep with
+  cold caches vs warm caches;
+* ``pipeline_chunked``    — ``InferencePipeline.execute_chunked`` serial
+  vs a 4-worker thread pool.
+
+Throughput numbers are hardware-dependent (the pool speedup in
+particular requires free cores — ``config.cpu_count`` records what was
+available).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--quick] [--out BENCH_pr4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.compress.huffman import _decode_reference, huffman_decode, huffman_encode
+from repro.compress.sz import SZCompressor
+from repro.core.errorflow import ErrorFlowAnalyzer
+from repro.core.pipeline import InferencePipeline
+from repro.core.planner import TolerancePlanner
+from repro.nn.activations import Tanh
+from repro.nn.linear import Linear, SpectralLinear
+from repro.nn.sequential import Sequential
+from repro.perf.cache import clear_all_caches, get_memo
+from repro.quant.formats import STANDARD_FORMATS
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time: robust to scheduler noise."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_huffman(n_symbols: int, reps: int) -> list[dict]:
+    rng = np.random.default_rng(0)
+    # Peaked residual-like distribution: what the predictor stages emit.
+    symbols = np.round(rng.normal(0.0, 0.7, size=n_symbols)).astype(np.int32)
+    blob = huffman_encode(symbols)
+    raw_mb = symbols.nbytes / 1e6
+
+    assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+
+    rows = []
+    for impl, fn in (("scalar_reference", _decode_reference), ("vectorized", huffman_decode)):
+        get_memo("huffman_tables").clear()
+        seconds = _best_of(lambda fn=fn: fn(blob), reps)
+        rows.append(
+            {
+                "path": "huffman_decode",
+                "config": {
+                    "impl": impl,
+                    "n_symbols": n_symbols,
+                    "reps": reps,
+                    "compressed_bytes": len(blob),
+                },
+                "seconds": seconds,
+                "throughput_mb_s": raw_mb / seconds,
+            }
+        )
+    speedup = rows[0]["seconds"] / rows[1]["seconds"]
+    for row in rows:
+        row["config"]["speedup_vs_scalar"] = speedup
+    print(f"huffman_decode: scalar {rows[0]['seconds']*1e3:.1f} ms, "
+          f"vectorized {rows[1]['seconds']*1e3:.1f} ms -> {speedup:.1f}x")
+    return rows
+
+
+def bench_bound_eval(reps: int) -> list[dict]:
+    rng = np.random.default_rng(1)
+    # Plain Linear layers: sigma comes from power iteration (the cached
+    # kernel) rather than a SpectralLinear's exact alpha.
+    model = Sequential(
+        Linear(256, 1024, rng=rng), Tanh(),
+        Linear(1024, 1024, rng=rng), Tanh(),
+        Linear(1024, 8, rng=rng),
+    )
+    model.eval()
+    formats = [STANDARD_FORMATS[name] for name in ("tf32", "fp16", "bf16", "int8")]
+    fractions = [0.1 * k for k in range(1, 10)]
+
+    def sweep() -> None:
+        analyzer = ErrorFlowAnalyzer(model)
+        planner = TolerancePlanner(analyzer)
+        for fraction in fractions:
+            planner.plan(1e-2, norm="linf", quant_fraction=fraction)
+        for fmt in formats:
+            analyzer.quantization_bound(fmt)
+            analyzer.gain()
+
+    def cold() -> None:
+        clear_all_caches()
+        sweep()
+
+    def warm() -> None:
+        sweep()
+
+    n_evals = len(fractions) + 2 * len(formats)
+    rows = []
+    clear_all_caches()
+    for state, fn in (("cold", cold), ("warm", warm)):
+        seconds = _best_of(fn, reps)
+        rows.append(
+            {
+                "path": "bound_eval",
+                "config": {"cache": state, "evaluations": n_evals, "reps": reps},
+                "seconds": seconds,
+                "throughput_mb_s": None,
+            }
+        )
+    speedup = rows[0]["seconds"] / rows[1]["seconds"]
+    for row in rows:
+        row["config"]["speedup_vs_cold"] = speedup
+    print(f"bound_eval: cold {rows[0]['seconds']*1e3:.1f} ms, "
+          f"warm {rows[1]['seconds']*1e3:.1f} ms -> {speedup:.1f}x")
+    return rows
+
+
+def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
+    rng = np.random.default_rng(2)
+    model = Sequential(
+        SpectralLinear(5, 64, rng=rng), Tanh(), SpectralLinear(64, 1, rng=rng)
+    )
+    model.eval()
+    x = np.linspace(0, 2 * np.pi, side)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+    plan = TolerancePlanner(ErrorFlowAnalyzer(model)).plan(
+        1e-2, norm="linf", quant_fraction=0.5
+    )
+    pipeline = InferencePipeline(model, SZCompressor(), plan)
+    chunk_size = max(1, side // (2 * workers))
+    mb = fields.nbytes / 1e6
+
+    rows = []
+    for n_workers in (1, workers):
+        seconds = _best_of(
+            lambda n=n_workers: pipeline.execute_chunked(
+                fields, chunk_size=chunk_size, workers=n, chunk_axis=1
+            ),
+            reps,
+        )
+        rows.append(
+            {
+                "path": "pipeline_chunked",
+                "config": {
+                    "workers": n_workers,
+                    "chunk_size": chunk_size,
+                    "field_shape": list(fields.shape),
+                    "reps": reps,
+                },
+                "seconds": seconds,
+                "throughput_mb_s": mb / seconds,
+            }
+        )
+    speedup = rows[0]["seconds"] / rows[1]["seconds"]
+    for row in rows:
+        row["config"]["speedup_vs_serial"] = speedup
+    print(f"pipeline_chunked: serial {rows[0]['seconds']*1e3:.1f} ms, "
+          f"{workers} workers {rows[1]['seconds']*1e3:.1f} ms -> {speedup:.2f}x")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller streams / fewer reps (CI smoke)")
+    parser.add_argument("--out", default="BENCH_pr4.json")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    reps = 2 if args.quick else 3
+    n_symbols = 1_000_000
+    side = 64 if args.quick else 128
+
+    rows = []
+    rows += bench_huffman(n_symbols, reps)
+    rows += bench_bound_eval(reps)
+    rows += bench_pipeline_chunked(side, args.workers, reps)
+    for row in rows:
+        row["config"]["cpu_count"] = os.cpu_count()
+        row["config"]["quick"] = args.quick
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2)
+    print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--norm", choices=("linf", "l2"), default="linf")
     pipeline.add_argument("--codec", choices=("sz", "zfp", "mgard"), default="sz")
     pipeline.add_argument("--fraction", type=float, default=0.5)
+    pipeline.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="run chunked: split the fields into slabs of this extent",
+    )
+    pipeline.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for chunked execution (0 = one per CPU); "
+        "implies chunked mode when --chunk-size is omitted",
+    )
 
     compress = commands.add_parser("compress", help="compress a .npy array")
     compress.add_argument("input", help="path to a .npy file")
@@ -160,10 +169,35 @@ def _cmd_pipeline(args) -> int:
         reshape = lambda f: f.astype(np.float32)  # noqa: E731
     else:
         reshape = None
-    result = pipeline.execute(workload.dataset.fields, samples_from_fields=reshape)
+    fields = workload.dataset.fields
+    if args.chunk_size is not None or args.workers is not None:
+        from .perf.parallel import resolve_workers
+
+        # images chunk by batch; (V, H, W) fields chunk by rows so slabs
+        # map to contiguous sample blocks
+        chunk_axis = 0 if workload.name == "eurosat" else 1
+        extent = fields.shape[chunk_axis]
+        workers = resolve_workers(args.workers)
+        chunk_size = args.chunk_size or max(1, -(-extent // max(workers, 2)))
+        result = pipeline.execute_chunked(
+            fields,
+            chunk_size=chunk_size,
+            workers=args.workers,
+            chunk_axis=chunk_axis,
+            samples_from_fields=reshape,
+        )
+        chunked = result.extra["chunked"]
+        _LOG.info(
+            f"chunked run: {chunked['n_chunks']} chunks of {chunked['chunk_size']} "
+            f"on {chunked['workers']} worker(s), wall {chunked['wall_seconds']:.3f}s"
+        )
+        ratio = chunked["compression_ratio"]
+    else:
+        result = pipeline.execute(fields, samples_from_fields=reshape)
+        ratio = result.compression_ratio
     achieved = result.qoi_error(args.norm, relative=False)
     _LOG.info(plan.describe())
-    _LOG.info(f"compression ratio: {result.compression_ratio:.2f}x")
+    _LOG.info(f"compression ratio: {ratio:.2f}x")
     _LOG.info(f"achieved QoI error: {achieved:.4e} (tolerance {args.tolerance:.1e})")
     if achieved > args.tolerance:
         _LOG.error("TOLERANCE VIOLATED")

@@ -13,6 +13,11 @@ from ..exceptions import CompressionError
 
 __all__ = ["pack_codes", "BitReader"]
 
+#: descending powers of two: _POW2[64 - k:] is [2^(k-1), ..., 2, 1], so a
+#: dot product against it assembles a k-bit big-endian integer in one
+#: vectorized pass instead of a per-bit Python loop.
+_POW2 = np.left_shift(np.uint64(1), np.arange(63, -1, -1, dtype=np.uint64))
+
 
 def pack_codes(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
     """Concatenate variable-length big-endian codes into packed bytes.
@@ -70,13 +75,40 @@ class BitReader:
             raise CompressionError("bitstream exhausted")
         chunk = self._bits[self.position : end]
         self.position = end
+        if n_bits == 0:
+            return 0
+        if n_bits > 64:
+            # Beyond uint64 the dot product would overflow; assemble with
+            # the scalar loop (no caller reads codes this wide).
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | int(bit)
+            return value
+        return int(chunk.astype(np.uint64) @ _POW2[64 - n_bits :])
+
+    def peek16(self) -> int:
+        """Peek up to 16 bits (zero padded past the end) without advancing."""
+        end = min(self.position + 16, self._bits.size)
+        chunk = self._bits[self.position : end]
+        if chunk.size == 0:
+            return 0
+        value = int(chunk.astype(np.uint64) @ _POW2[64 - chunk.size :])
+        return value << (16 - chunk.size)
+
+    def _read_reference(self, n_bits: int) -> int:
+        """Scalar ``read`` kept as ground truth for property tests."""
+        end = self.position + n_bits
+        if end > self.total_bits:
+            raise CompressionError("bitstream exhausted")
+        chunk = self._bits[self.position : end]
+        self.position = end
         value = 0
         for bit in chunk:
             value = (value << 1) | int(bit)
         return value
 
-    def peek16(self) -> int:
-        """Peek up to 16 bits (zero padded past the end) without advancing."""
+    def _peek16_reference(self) -> int:
+        """Scalar ``peek16`` kept as ground truth for property tests."""
         end = min(self.position + 16, self._bits.size)
         chunk = self._bits[self.position : end]
         value = 0

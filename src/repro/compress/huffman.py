@@ -10,7 +10,19 @@ Design points:
 * **escape symbol** — alphabets are capped (quantization codes follow a
   sharply peaked distribution); rare symbols are emitted as an escape code
   followed by a raw 32-bit value, so pathological inputs cannot blow up
-  the table.
+  the table;
+* **vectorized decode** — instead of a per-symbol Python loop, the
+  decoder gathers the 16-bit prefix window of *every* bit offset at once,
+  turns the prefix table into a next-position function, composes it into
+  a 16-symbol jump table by pointer doubling, walks block starts
+  sequentially (``n/16`` cheap iterations) and expands within blocks
+  columnwise.  Escapes resolve in a masked second pass.  The original
+  scalar decoder is retained as :func:`_decode_reference`; property tests
+  assert bit-exact agreement.
+
+Decode tables (65536-entry symbol/advance arrays) are memoized on the
+lengths header via :mod:`repro.perf.cache`, so chunked streams sharing a
+code table build it once.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ import struct
 import numpy as np
 
 from ..exceptions import CompressionError
+from ..perf.cache import get_memo
 from .bitstream import pack_codes
 
 __all__ = ["huffman_encode", "huffman_decode"]
@@ -28,6 +41,11 @@ __all__ = ["huffman_encode", "huffman_decode"]
 _MAX_CODE_LENGTH = 16
 _MAGIC = b"HUF1"
 _ESCAPE = -(2**31)  # sentinel symbol id for escaped values
+
+#: slack past the end of the bit positions array: strictly larger than the
+#: largest single-symbol advance (16-bit code + 32 raw bits), so composed
+#: jumps from any in-stream position stay in bounds without clamping.
+_PAD = 64
 
 
 def _code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
@@ -92,7 +110,8 @@ def huffman_encode(symbols: np.ndarray, max_alphabet: int = 4096) -> bytes:
     if np.any(np.abs(unique) >= 2**31):
         raise CompressionError("huffman symbols must fit in int32")
     keep = np.argsort(counts)[::-1][: max_alphabet - 1]
-    kept_symbols = set(int(unique[i]) for i in keep)
+    kept_unique = np.zeros(unique.size, dtype=bool)
+    kept_unique[keep] = True
     frequencies: dict[int, int] = {
         int(unique[i]): int(counts[i]) for i in keep
     }
@@ -117,7 +136,7 @@ def huffman_encode(symbols: np.ndarray, max_alphabet: int = 4096) -> bytes:
 
     if n_escaped > 0:
         # Append the raw 32-bit value after each escape code.
-        escaped_mask = ~np.isin(symbols, np.fromiter(kept_symbols, dtype=np.int64))
+        escaped_mask = ~kept_unique[inverse]
         raw = (symbols[escaped_mask].astype(np.int64) & 0xFFFFFFFF).astype(np.uint64)
         merged_values = np.empty(n + int(escaped_mask.sum()), dtype=np.uint64)
         merged_lengths = np.empty_like(merged_values, dtype=np.int64)
@@ -137,8 +156,150 @@ def huffman_encode(symbols: np.ndarray, max_alphabet: int = 4096) -> bytes:
     return b"".join(header) + payload
 
 
+def _build_decode_tables(
+    lengths: dict[int, int]
+) -> tuple[np.ndarray, np.ndarray, int | None]:
+    """65536-entry prefix tables: symbol, fused position advance, escape len.
+
+    ``advance`` folds the escape's trailing 32 raw bits into the code
+    length, so one gather per bit position yields the full next-position
+    function regardless of escapes.
+    """
+    codes = _canonical_codes(lengths)
+    table_symbol = np.zeros(2**_MAX_CODE_LENGTH, dtype=np.int32)
+    advance = np.zeros(2**_MAX_CODE_LENGTH, dtype=np.int32)
+    escape_length: int | None = None
+    for symbol, (code, length) in codes.items():
+        start = code << (_MAX_CODE_LENGTH - length)
+        end = (code + 1) << (_MAX_CODE_LENGTH - length)
+        table_symbol[start:end] = symbol
+        if symbol == _ESCAPE:
+            escape_length = length
+            advance[start:end] = length + 32
+        else:
+            advance[start:end] = length
+    return table_symbol, advance, escape_length
+
+
+def _decode_tables_for_header(header: bytes, n_alphabet: int):
+    """Cached decode tables keyed by the raw lengths header bytes."""
+
+    def build():
+        lengths: dict[int, int] = {}
+        offset = 0
+        for __ in range(n_alphabet):
+            symbol, length = struct.unpack_from("<iB", header, offset)
+            lengths[symbol] = length
+            offset += 5
+        return _build_decode_tables(lengths)
+
+    return get_memo("huffman_tables", maxsize=64).get(bytes(header), build)
+
+
 def huffman_decode(blob: bytes) -> np.ndarray:
-    """Decode a blob produced by :func:`huffman_encode`."""
+    """Decode a blob produced by :func:`huffman_encode` (vectorized)."""
+    if blob[:4] != _MAGIC:
+        raise CompressionError("bad huffman magic")
+    n, n_alphabet = struct.unpack_from("<IH", blob, 4)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    offset = 10 + 5 * n_alphabet
+    table_symbol, advance, escape_length = _decode_tables_for_header(
+        blob[10:offset], n_alphabet
+    )
+    (total_bits,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    if total_bits >= 2**31 - _PAD:
+        # int32 position arithmetic would overflow; take the scalar path.
+        return _decode_reference(blob)
+
+    payload = np.frombuffer(blob, dtype=np.uint8, offset=offset)
+    if payload.size * 8 < total_bits:
+        raise CompressionError("huffman payload truncated")
+
+    # 32-bit big-endian window at every byte offset; the 16-bit prefix at
+    # bit position p is then (V32[p >> 3] >> (16 - (p & 7))) & 0xFFFF.
+    padded = np.concatenate(
+        [payload, np.zeros(_PAD // 8 + 8, dtype=np.uint8)]
+    ).astype(np.uint32)
+    v32 = (
+        (padded[:-3] << np.uint32(24))
+        | (padded[1:-2] << np.uint32(16))
+        | (padded[2:-1] << np.uint32(8))
+        | padded[3:]
+    )
+
+    length = int(total_bits) + _PAD
+    pos = np.arange(length, dtype=np.int32)
+    # All gathers below use mode="clip": indices are in bounds by
+    # construction (the absorbing state keeps composed jumps under
+    # length), and skipping numpy's per-element bounds check is ~30%
+    # faster; a corrupt stream clamps into the absorbing region and is
+    # caught by the final alignment check.
+    window = (
+        np.take(v32, pos >> 3, mode="clip")
+        >> (np.int32(16) - (pos & 7)).astype(np.uint32)
+    ) & np.uint32(0xFFFF)
+
+    # Next-position function over every bit offset; positions at or past
+    # the stream end collapse into an absorbing overrun state so corrupt
+    # walks terminate and fail the final alignment check.
+    nxt = pos + np.take(advance, window, mode="clip")
+    nxt[total_bits:] = total_bits + 1
+
+    # Pointer doubling: nxt -> nxt^2 -> nxt^4 -> nxt^8 -> nxt^16, ping-
+    # ponging between two buffers so each squaring is a single gather.
+    jump = np.take(nxt, nxt, mode="clip")
+    scratch = np.empty_like(jump)
+    for __ in range(3):
+        np.take(jump, jump, out=scratch, mode="clip")
+        jump, scratch = scratch, jump
+
+    # Sequential part, shrunk 16x: walk one block start per 16 symbols.
+    block = 16
+    n_blocks = (n + block - 1) // block
+    item = jump.item
+    start_list = [0] * n_blocks
+    p = 0
+    for k in range(n_blocks):
+        start_list[k] = p
+        p = item(p)
+
+    # Within-block expansion, one row per symbol offset (contiguous
+    # writes); row j holds the position of symbol 16*k + j for every k.
+    rows = np.empty((block, n_blocks), dtype=np.int32)
+    rows[0] = start_list
+    for j in range(1, block):
+        np.take(nxt, rows[j - 1], out=rows[j], mode="clip")
+    positions = rows.T.reshape(-1)[:n]
+
+    symbols = np.take(table_symbol, np.take(window, positions, mode="clip"), mode="clip")
+    out = symbols.astype(np.int64)
+
+    if escape_length is not None:
+        escaped = symbols == np.int32(_ESCAPE)
+        if escaped.any():
+            raw_start = positions[escaped].astype(np.int64) + escape_length
+            raw = (np.take(window, raw_start, mode="clip").astype(np.int64) << 16) | np.take(
+                window, raw_start + 16, mode="clip"
+            )
+            out[escaped] = np.where(raw >= 2**31, raw - 2**32, raw)
+
+    consumed = int(nxt[int(positions[-1])])
+    if consumed != total_bits:
+        raise CompressionError(
+            f"huffman stream misaligned: consumed {consumed} of {total_bits} bits"
+        )
+    return out
+
+
+def _decode_reference(blob: bytes) -> np.ndarray:
+    """The original scalar decoder, one table hit per symbol.
+
+    Kept as the ground truth for the vectorized path: property tests
+    assert :func:`huffman_decode` is bit-exact against it, and it serves
+    as the fallback for streams too large for int32 position arithmetic.
+    """
     if blob[:4] != _MAGIC:
         raise CompressionError("bad huffman magic")
     n, n_alphabet = struct.unpack_from("<IH", blob, 4)

@@ -34,8 +34,8 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..perf.cache import cached_average_step_size
 from ..quant.formats import NumericFormat
-from ..quant.stepsize import average_step_size
 from .graph import ChainSpec, LinearSpec, NetworkSpec, ResidualSpec
 
 __all__ = [
@@ -111,7 +111,12 @@ class ErrorState:
 def step_sizes_for(
     spec: NetworkSpec, fmt: NumericFormat | Sequence[NumericFormat] | None
 ) -> dict[int, float]:
-    """Table-I step per linear spec (keyed by ``id`` of the spec node)."""
+    """Table-I step per linear spec (keyed by ``id`` of the spec node).
+
+    Steps are memoized on (format, weight content), so planner sweeps
+    that evaluate the same spec under many formats and fractions compute
+    each rounding pass once.
+    """
     linears = spec.linear_specs()
     if fmt is None:
         return {id(linear): 0.0 for linear in linears}
@@ -128,7 +133,7 @@ def step_sizes_for(
         if layer_fmt is None or layer_fmt.is_identity:
             steps[id(linear)] = 0.0
         else:
-            steps[id(linear)] = average_step_size(linear.weights, layer_fmt)
+            steps[id(linear)] = cached_average_step_size(linear.weights, layer_fmt)
     return steps
 
 

@@ -15,17 +15,30 @@ quantization or compression happens*:
 
 from __future__ import annotations
 
+import itertools
 from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import ToleranceError
 from ..nn.module import Module
+from ..perf.cache import get_memo
 from ..quant.formats import NumericFormat
 from .bounds import compression_gain, propagate, step_sizes_for
 from .graph import LinearSpec, NetworkSpec, extract_spec
 
 __all__ = ["ErrorFlowAnalyzer"]
+
+#: distinguishes analyzers in the shared bound-evaluation memo; a plain
+#: monotone counter, never reused (unlike ``id()``)
+_ANALYZER_TOKENS = itertools.count()
+
+
+def _format_memo_key(fmt) -> object:
+    """Hashable identity of a format argument (formats are frozen)."""
+    if fmt is None or isinstance(fmt, NumericFormat):
+        return fmt
+    return tuple(fmt)
 
 
 class ErrorFlowAnalyzer:
@@ -68,6 +81,26 @@ class ErrorFlowAnalyzer:
         self.quant_safety = float(quant_safety)
         self._model = model
         self._signal_caps: dict[int, float] | None = None
+        self._n_input_arg = n_input
+        self._token = next(_ANALYZER_TOKENS)
+        self._weight_version = model.weight_version()
+        self._cache_epoch = 0
+
+    def _refresh_spec(self) -> None:
+        """Re-extract the spec when the model's weights have changed.
+
+        Staleness is detected through :meth:`Module.weight_version` (each
+        ``Parameter.data`` assignment bumps a counter — e.g. an optimizer
+        step).  A refresh drops calibration caps (they were measured
+        against the old weights) and advances the memo epoch so stale
+        bound evaluations can never be served.
+        """
+        current = self._model.weight_version()
+        if current != self._weight_version:
+            self.spec = extract_spec(self._model, n_input=self._n_input_arg)
+            self._signal_caps = None
+            self._weight_version = current
+            self._cache_epoch += 1
 
     def _steps(self, fmt) -> dict[int, float]:
         steps = step_sizes_for(self.spec, fmt)
@@ -86,6 +119,7 @@ class ErrorFlowAnalyzer:
         """
         from .calibration import collect_signal_norms
 
+        self._refresh_spec()
         norms = collect_signal_norms(self._model, inputs, margin=margin)
         linears = self.spec.linear_specs()
         if len(norms) != len(linears):  # pragma: no cover - traversal parity
@@ -93,11 +127,13 @@ class ErrorFlowAnalyzer:
                 f"calibration walked {len(norms)} linears, spec has {len(linears)}"
             )
         self._signal_caps = {id(spec): norm for spec, norm in zip(linears, norms)}
+        self._cache_epoch += 1  # cached bounds were computed without caps
         return self
 
     def decalibrate(self) -> None:
         """Drop calibration and return to the paper's worst-case signals."""
         self._signal_caps = None
+        self._cache_epoch += 1
 
     @property
     def is_calibrated(self) -> bool:
@@ -110,14 +146,23 @@ class ErrorFlowAnalyzer:
 
     def layer_sigmas(self) -> list[float]:
         """Per-layer spectral norms (after BN folding)."""
+        self._refresh_spec()
         return [linear.sigma for linear in self.spec.linear_specs()]
 
     def gain(self) -> float:
-        """Eq. (5) amplification ``sigma_s + prod sigma`` of the network."""
-        return compression_gain(self.spec)
+        """Eq. (5) amplification ``sigma_s + prod sigma`` of the network.
+
+        Memoized per (analyzer, weight version): planner sweeps call this
+        for every candidate configuration but only pay the graph walk
+        once per weight state.
+        """
+        self._refresh_spec()
+        key = (self._token, "gain", self._weight_version, self._cache_epoch)
+        return get_memo("bound_eval").get(key, lambda: compression_gain(self.spec))
 
     def step_sizes(self, fmt: NumericFormat | Sequence[NumericFormat]) -> list[float]:
         """Table-I steps ``q_l`` per layer for a format choice."""
+        self._refresh_spec()
         steps = self._steps(fmt)
         return [steps[id(linear)] for linear in self.spec.linear_specs()]
 
@@ -127,11 +172,32 @@ class ErrorFlowAnalyzer:
         return self.gain() * float(input_error_l2)
 
     def quantization_bound(self, fmt: NumericFormat | Sequence[NumericFormat]) -> float:
-        """Eq. (3) with ``||Delta x|| = 0``: weight-quantization error alone."""
-        steps = self._steps(fmt)
-        return propagate(
-            self.spec, input_error_l2=0.0, steps=steps, signal_caps=self._signal_caps
-        ).delta
+        """Eq. (3) with ``||Delta x|| = 0``: weight-quantization error alone.
+
+        Memoized per (analyzer, format, weight version, calibration
+        epoch, safety factor) — the planner evaluates the same formats
+        against many error-budget splits.
+        """
+        self._refresh_spec()
+        key = (
+            self._token,
+            "quant",
+            _format_memo_key(fmt),
+            self._weight_version,
+            self._cache_epoch,
+            self.quant_safety,
+        )
+
+        def compute() -> float:
+            steps = self._steps(fmt)
+            return propagate(
+                self.spec,
+                input_error_l2=0.0,
+                steps=steps,
+                signal_caps=self._signal_caps,
+            ).delta
+
+        return get_memo("bound_eval").get(key, compute)
 
     def combined_bound(
         self,
@@ -139,6 +205,7 @@ class ErrorFlowAnalyzer:
         fmt: NumericFormat | Sequence[NumericFormat] | None,
     ) -> float:
         """Full Inequality (3): compression and quantization together."""
+        self._refresh_spec()
         steps = self._steps(fmt)
         return propagate(
             self.spec,
@@ -177,6 +244,7 @@ class ErrorFlowAnalyzer:
         corresponding weight row (the exact operator norm of a single-row
         map), and its ``n_L`` becomes 1.
         """
+        self._refresh_spec()
         linears = self.spec.linear_specs()
         last = linears[-1]
         if not isinstance(last, LinearSpec) or last.is_conv:
@@ -248,6 +316,7 @@ class ErrorFlowAnalyzer:
         """
         from ..quant.activations import activation_rounding_bound
 
+        self._refresh_spec()
         items = self.spec.chain.items
         if not all(isinstance(item, LinearSpec) for item in items):
             raise ToleranceError(

@@ -14,7 +14,10 @@ step ``q``.  This module walks a trained model and produces a
 
 Spectral norms come from the layer's own ``alpha`` when it is trained with
 parameterized spectral normalization (exact by construction) and from
-power iteration otherwise.
+power iteration otherwise.  Power iterations are memoized on weight
+content (:func:`repro.perf.cache.cached_spectral_norm`), so repeated
+extractions over unchanged weights — planner sweeps, re-built analyzers —
+run exactly one iteration pass per layer per weight version.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from ..nn.normalization import _BatchNormBase
 from ..nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
 from ..nn.residual import ResidualBlock
 from ..nn.sequential import Sequential
-from ..nn.spectral import spectral_norm
+from ..perf.cache import cached_spectral_norm
 
 __all__ = ["LinearSpec", "ChainSpec", "ResidualSpec", "NetworkSpec", "extract_spec"]
 
@@ -109,14 +112,14 @@ def _layer_sigma(layer: Module, effective: np.ndarray) -> float:
     alpha = getattr(layer, "spectral_alpha", None)
     if alpha is not None:
         return float(alpha)
-    return spectral_norm(effective)
+    return cached_spectral_norm(effective)
 
 
 def _dense_spec(layer: Linear | SpectralLinear, name: str, bn_scale: np.ndarray | None) -> LinearSpec:
     effective = np.asarray(layer.effective_weight(), dtype=np.float64)
     if bn_scale is not None:
         effective = effective * bn_scale[:, None]
-        sigma = spectral_norm(effective)
+        sigma = cached_spectral_norm(effective)
     else:
         sigma = _layer_sigma(layer, effective)
     return LinearSpec(
@@ -132,7 +135,7 @@ def _conv_spec(layer: Conv2d | SpectralConv2d, name: str, bn_scale: np.ndarray |
     effective = np.asarray(layer.effective_weight(), dtype=np.float64)
     if bn_scale is not None:
         effective = effective * bn_scale[:, None]
-        sigma = spectral_norm(effective)
+        sigma = cached_spectral_norm(effective)
     else:
         sigma = _layer_sigma(layer, effective)
     k_sq = layer.kernel_size**2

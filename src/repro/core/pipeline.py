@@ -27,6 +27,7 @@ from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
 from ..exceptions import CompressionError, IntegrityError, PlanningError
 from ..nn.module import Module
 from ..obs import get_metrics, get_tracer
+from ..perf.parallel import parallel_map, resolve_workers
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
 from ..resilience.policy import (
@@ -287,8 +288,9 @@ class InferencePipeline:
                 inference_seconds = time.perf_counter() - start
 
             self.model.eval()
-            reference = self.model(samples_from_fields(fields))
-            delta = samples_from_fields(fields) - samples
+            reference_samples = samples_from_fields(fields)
+            reference = self.model(reference_samples)
+            delta = reference_samples - samples
             input_error_linf = float(np.abs(delta).max()) if delta.size else 0.0
             input_error_l2_max = (
                 float(np.linalg.norm(delta, axis=1).max()) if delta.size else 0.0
@@ -356,6 +358,132 @@ class InferencePipeline:
                     observed_input_error=achieved,
                 )
         return result
+
+    def execute_chunked(
+        self,
+        fields: np.ndarray,
+        chunk_size: int,
+        workers: int | None = None,
+        chunk_axis: int = 0,
+        samples_from_fields=None,
+    ) -> PipelineResult:
+        """Run the pipeline over chunks of ``fields``, optionally in parallel.
+
+        ``fields`` is split along ``chunk_axis`` into slabs of
+        ``chunk_size``; each slab runs the full compress → decompress →
+        infer path independently.  With ``workers > 1`` slabs execute on
+        a thread pool (the heavy kernels are numpy calls that release the
+        GIL).  Results come back in input order regardless of completion
+        order, so the assembled outputs are deterministic.
+
+        Only pointwise (L-infinity) tolerances compose per chunk — the
+        max over slab-wise maxima equals the global maximum.  An L2
+        budget does not split this way, so L2 plans are rejected.
+
+        Parameters
+        ----------
+        fields:
+            Input data as stored (same contract as :meth:`execute`).
+        chunk_size:
+            Slab extent along ``chunk_axis``.
+        workers:
+            ``None``/1 = serial, ``0`` = one per CPU, else literal.
+        chunk_axis:
+            Axis to split.  Pick the axis whose slabs map to contiguous
+            blocks of model samples under ``samples_from_fields`` (axis 1
+            for the default ``(V, H, W)`` field mapping, axis 0 for
+            batch-of-images workloads).
+        samples_from_fields:
+            Same reshaping callable as :meth:`execute`, applied per chunk.
+
+        Returns
+        -------
+        PipelineResult
+            Concatenated outputs; stage timings are summed over chunks,
+            input errors are slab-wise maxima (exact for pointwise
+            norms), ``blob`` is the first chunk's blob, and
+            ``extra["chunked"]`` holds the aggregate compression ratio
+            and pool configuration.
+        """
+        if not self._mode.is_pointwise:
+            raise PlanningError(
+                "chunked execution requires a pointwise (linf) tolerance: "
+                "an L2 error budget does not decompose across chunks"
+            )
+        fields = np.asarray(fields)
+        chunk_size = int(chunk_size)
+        if chunk_size <= 0:
+            raise PlanningError(f"chunk_size must be positive, got {chunk_size}")
+        extent = fields.shape[chunk_axis]
+        if extent == 0:
+            raise PlanningError("cannot chunk an empty field array")
+        chunks = [
+            np.ascontiguousarray(
+                np.take(fields, np.arange(lo, min(lo + chunk_size, extent)), axis=chunk_axis)
+            )
+            for lo in range(0, extent, chunk_size)
+        ]
+        n_workers = resolve_workers(workers)
+        # eval() once up front: worker threads must not mutate module state.
+        self.model.eval()
+
+        tracer = get_tracer()
+        wall_start = time.perf_counter()
+        with tracer.span(
+            "pipeline.execute_chunked",
+            codec=self.codec.name,
+            chunks=len(chunks),
+            chunk_size=chunk_size,
+            workers=n_workers,
+        ) as root:
+
+            def run_chunk(chunk: np.ndarray) -> PipelineResult:
+                with tracer.span("pipeline.chunk", rows=int(chunk.shape[chunk_axis])):
+                    return self.execute(chunk, samples_from_fields=samples_from_fields)
+
+            results = parallel_map(run_chunk, chunks, workers=workers, label="pipeline")
+            wall_seconds = time.perf_counter() - wall_start
+
+            raw_total = sum(
+                int(np.prod(r.blob.shape)) * np.dtype(r.blob.dtype).itemsize
+                for r in results
+            )
+            compressed_total = sum(len(r.blob.payload) for r in results)
+            integrity = {
+                "screened": self.screen,
+                "policy": self.on_corruption.value,
+                "recoveries": sum(r.extra["integrity"]["recoveries"] for r in results),
+                "degraded": any(r.extra["integrity"]["degraded"] for r in results),
+            }
+            aggregate_ratio = (
+                raw_total / compressed_total if compressed_total else float("inf")
+            )
+            root.set(compression_ratio=aggregate_ratio, wall_seconds=wall_seconds)
+
+        return PipelineResult(
+            outputs=np.concatenate([r.outputs for r in results], axis=0),
+            reference_outputs=np.concatenate(
+                [r.reference_outputs for r in results], axis=0
+            ),
+            blob=results[0].blob,
+            plan=self.plan,
+            compress_seconds=sum(r.compress_seconds for r in results),
+            decompress_seconds=sum(r.decompress_seconds for r in results),
+            inference_seconds=sum(r.inference_seconds for r in results),
+            input_error_linf=max(r.input_error_linf for r in results),
+            input_error_l2_max=max(r.input_error_l2_max for r in results),
+            extra={
+                "integrity": integrity,
+                "chunked": {
+                    "n_chunks": len(chunks),
+                    "chunk_size": chunk_size,
+                    "chunk_axis": chunk_axis,
+                    "workers": n_workers,
+                    "wall_seconds": wall_seconds,
+                    "compression_ratio": aggregate_ratio,
+                },
+            },
+        )
 
     def _record_telemetry(
         self,

@@ -7,6 +7,13 @@ split an array into regular chunks along its leading axis, store each as
 an independent error-bounded blob in a :class:`~repro.io.store.DatasetStore`,
 and reassemble on read — each chunk individually honours the pointwise
 tolerance, so the assembled array does too.
+
+Both directions accept a ``workers`` count: chunk compression
+(``store.put``) and decompression (``store.get``) run on a thread pool
+(the codecs' numpy kernels release the GIL).  Chunk *numbering* and
+manifest order are fixed at ``append`` time, and reads assemble in
+manifest order, so parallel and serial round-trips produce identical
+arrays.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 
 from ..compress import Compressor, ErrorBoundMode
 from ..exceptions import CompressionError
+from ..perf.parallel import WorkerPool, parallel_map
 from .store import DatasetStore
 
 __all__ = ["ChunkedArrayWriter", "ChunkedArrayReader", "write_chunked", "read_chunked"]
@@ -37,6 +45,12 @@ class ChunkedArrayWriter:
         JSON manifest.
     tolerance, mode, codec:
         Error contract applied to every chunk.
+    workers:
+        ``None``/1 = compress chunks inline; otherwise ``append`` only
+        enqueues and a pool of this many threads compresses concurrently.
+        ``close`` waits for every pending chunk (re-raising the first
+        failure) before the manifest is written, so a manifest on disk
+        always describes fully stored chunks.
     """
 
     def __init__(
@@ -46,6 +60,7 @@ class ChunkedArrayWriter:
         tolerance: float,
         mode: ErrorBoundMode = ErrorBoundMode.ABS,
         codec: Compressor | str | None = None,
+        workers: int | None = None,
     ) -> None:
         if not mode.is_pointwise:
             raise CompressionError(
@@ -57,9 +72,14 @@ class ChunkedArrayWriter:
         self.tolerance = float(tolerance)
         self.mode = mode
         self.codec = codec
+        self._pool = WorkerPool(workers, label="chunked_write")
         self._chunks: list[dict] = []
         self._dtype: str | None = None
         self._closed = False
+
+    def _store_chunk(self, job: tuple[str, np.ndarray]) -> None:
+        entry, chunk = job
+        self.store.put(entry, chunk, self.tolerance, self.mode, codec=self.codec)
 
     def append(self, chunk: np.ndarray) -> None:
         """Write one chunk (a slab along the final array's leading axis)."""
@@ -73,14 +93,18 @@ class ChunkedArrayWriter:
             )
         index = len(self._chunks)
         entry = f"{self.name}.c{index:04d}"
-        self.store.put(entry, chunk, self.tolerance, self.mode, codec=self.codec)
+        self._pool.submit(self._store_chunk, (entry, chunk))
         self._chunks.append({"entry": entry, "shape": list(chunk.shape)})
         self._dtype = str(chunk.dtype)
 
     def close(self) -> None:
-        """Finalize: write the manifest that readers assemble from."""
+        """Finalize: drain pending chunk stores, then write the manifest."""
         if self._closed:
             return
+        try:
+            self._pool.drain()
+        finally:
+            self._pool.shutdown()
         if not self._chunks:
             raise CompressionError("no chunks were written")
         manifest = {
@@ -101,6 +125,9 @@ class ChunkedArrayWriter:
     def __exit__(self, exc_type, *exc_info) -> None:
         if exc_type is None:
             self.close()
+        else:
+            # error exit: abandon pending work, never write a manifest
+            self._pool.shutdown()
 
 
 class ChunkedArrayReader:
@@ -130,9 +157,12 @@ class ChunkedArrayReader:
             raise CompressionError(f"chunk index {index} out of range")
         return self.store.get(self.manifest["chunks"][index]["entry"])
 
-    def read(self) -> np.ndarray:
-        """Load and concatenate every chunk."""
-        return np.concatenate([self.read_chunk(i) for i in range(self.n_chunks)])
+    def read(self, workers: int | None = None) -> np.ndarray:
+        """Load and concatenate every chunk (in manifest order)."""
+        parts = parallel_map(
+            self.read_chunk, range(self.n_chunks), workers=workers, label="chunked_read"
+        )
+        return np.concatenate(parts)
 
 
 def write_chunked(
@@ -143,6 +173,7 @@ def write_chunked(
     chunk_size: int,
     mode: ErrorBoundMode = ErrorBoundMode.ABS,
     codec: Compressor | str | None = None,
+    workers: int | None = None,
 ) -> int:
     """Split ``array`` along axis 0 into ``chunk_size`` slabs and store.
 
@@ -150,13 +181,15 @@ def write_chunked(
     """
     if chunk_size < 1:
         raise CompressionError("chunk_size must be >= 1")
-    with ChunkedArrayWriter(store, name, tolerance, mode, codec) as writer:
+    with ChunkedArrayWriter(store, name, tolerance, mode, codec, workers=workers) as writer:
         for start in range(0, len(array), chunk_size):
             writer.append(array[start : start + chunk_size])
         n_chunks = len(writer._chunks)
     return n_chunks
 
 
-def read_chunked(store: DatasetStore, name: str) -> np.ndarray:
+def read_chunked(
+    store: DatasetStore, name: str, workers: int | None = None
+) -> np.ndarray:
     """Load a chunked array written by :func:`write_chunked`."""
-    return ChunkedArrayReader(store, name).read()
+    return ChunkedArrayReader(store, name).read(workers=workers)

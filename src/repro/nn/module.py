@@ -34,15 +34,43 @@ class Parameter:
     requires_grad:
         When ``False`` the optimizer skips this parameter (used for frozen
         layers and running statistics exposed as parameters).
+
+    Notes
+    -----
+    Every assignment to :attr:`data` bumps a monotone version counter
+    (optimizer steps, ``load_state_dict``, quantization all assign).
+    Bound-evaluation caches key on :meth:`Module.weight_version`, the sum
+    of these counters, to invalidate when training moves the weights.
+    In-place writes (``param.data[...] = x``) bypass the setter; call
+    :meth:`bump_version` after them.
     """
 
     def __init__(self, data: np.ndarray, requires_grad: bool = True) -> None:
         data = np.asarray(data)
         if not np.issubdtype(data.dtype, np.floating):
             data = data.astype(np.float32)
-        self.data = data
+        self._version = 0
+        self._data = data
         self.grad = np.zeros_like(self.data)
         self.requires_grad = requires_grad
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of assignments to :attr:`data`."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the parameter changed after an in-place ``data`` write."""
+        self._version += 1
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -139,6 +167,16 @@ class Module:
         for module in self.modules():
             object.__setattr__(module, "training", False)
         return self
+
+    def weight_version(self) -> int:
+        """Monotone counter over every parameter assignment in the tree.
+
+        The sum of all :attr:`Parameter.version` counters: any optimizer
+        step, ``load_state_dict`` or quantization pass increases it, so it
+        serves as a cheap staleness key for weight-derived caches (see
+        :mod:`repro.perf.cache`).  It never decreases.
+        """
+        return sum(param.version for param in self.parameters())
 
     def num_parameters(self, trainable_only: bool = False) -> int:
         """Total number of scalar parameters in the module tree."""

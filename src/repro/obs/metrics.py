@@ -17,6 +17,7 @@ two cheap method calls and no allocation.
 from __future__ import annotations
 
 import math
+import threading
 
 __all__ = [
     "Counter",
@@ -134,23 +135,28 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._series: dict[str, dict] = {}
+        # Guards series creation so worker threads (parallel chunked
+        # execution) can request instruments concurrently.  Increments on
+        # the instruments themselves stay lock-free.
+        self._register_lock = threading.Lock()
 
     def _instrument(self, kind: str, factory, name: str, labels: dict):
-        entry = self._series.get(name)
-        if entry is None:
-            entry = {"kind": kind, "series": {}}
-            self._series[name] = entry
-        elif entry["kind"] != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {entry['kind']}, "
-                f"cannot re-register as {kind}"
-            )
-        key = _label_key(labels)
-        instrument = entry["series"].get(key)
-        if instrument is None:
-            instrument = factory()
-            entry["series"][key] = instrument
-        return instrument
+        with self._register_lock:
+            entry = self._series.get(name)
+            if entry is None:
+                entry = {"kind": kind, "series": {}}
+                self._series[name] = entry
+            elif entry["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {entry['kind']}, "
+                    f"cannot re-register as {kind}"
+                )
+            key = _label_key(labels)
+            instrument = entry["series"].get(key)
+            if instrument is None:
+                instrument = factory()
+                entry["series"][key] = instrument
+            return instrument
 
     def counter(self, name: str, **labels) -> Counter:
         return self._instrument("counter", Counter, name, labels)

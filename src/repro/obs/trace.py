@@ -16,6 +16,7 @@ and no allocation.
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
@@ -83,12 +84,15 @@ class Span:
 
 
 class Tracer:
-    """Collects spans into a tree; single-threaded by design.
+    """Collects spans into a tree; safe to use from worker threads.
 
     ``span()`` opens a child of the currently active span (the enclosing
-    ``with`` block).  Finished spans are retained in completion order in
-    :attr:`finished`; root spans (no parent) in :attr:`roots` in start
-    order.
+    ``with`` block).  The active-span stack is *thread-local*: spans
+    opened inside a worker thread nest under whatever that thread opened,
+    and become roots otherwise — a worker-pool task therefore shows up as
+    its own root span carrying its worker's name.  The shared collections
+    (:attr:`finished` in completion order, :attr:`roots` in start order,
+    the id counter) are guarded by a lock.
     """
 
     #: instrumented code may branch on this to skip expensive attribute
@@ -98,38 +102,52 @@ class Tracer:
     def __init__(self) -> None:
         self.finished: list[Span] = []
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
+
+    def _stack_for_thread(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attributes) -> Span:
         """Open a new span as a child of the current one (context manager)."""
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack_for_thread()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         span = Span(
             name,
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=None if parent is None else parent.span_id,
             depth=0 if parent is None else parent.depth + 1,
             tracer=self,
             attributes=attributes,
         )
-        self._next_id += 1
         if parent is None:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         return span
 
     def current(self) -> Span | None:
         """The innermost span whose ``with`` block is active, if any."""
-        return self._stack[-1] if self._stack else None
+        stack = self._stack_for_thread()
+        return stack[-1] if stack else None
 
     def _finish(self, span: Span) -> None:
         # Exiting out of order (an inner span leaked past its parent's
         # exit) is tolerated: pop down to the span being closed.
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
-        if self._stack:
-            self._stack.pop()
-        self.finished.append(span)
+        stack = self._stack_for_thread()
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self.finished.append(span)
 
     # -- queries ---------------------------------------------------------
     def find(self, name: str) -> list[Span]:

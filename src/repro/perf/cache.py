@@ -1,0 +1,175 @@
+"""Content-keyed memoization for the repeatedly evaluated analysis kernels.
+
+The planner sweeps formats and allocation fractions; every sweep point
+re-derives quantities that only depend on the *weights* — per-layer
+spectral norms (200-step power iterations), Table-I step sizes, Eq. (3)
+propagations — and every chunked decode re-derives the same canonical
+Huffman tables from the same lengths header.  This module provides the
+shared memo tables those paths consult:
+
+* :class:`Memo` — a named, bounded (LRU), thread-safe memo whose hit and
+  miss totals are mirrored into the :mod:`repro.obs` metrics registry as
+  ``cache_hits_total{cache=}`` / ``cache_misses_total{cache=}``;
+* :func:`array_fingerprint` — a content key for numpy arrays (BLAKE2b
+  digest plus shape and dtype), so caches keyed on weight *content* stay
+  correct under any mutation, including in-place edits the
+  version counters cannot see;
+* :func:`cached_spectral_norm` / :func:`cached_average_step_size` — the
+  two weight-derived kernels the error-flow layer evaluates repeatedly.
+
+Invalidation is structural, not temporal: content-keyed entries can never
+go stale (a changed array is a different key), and version-keyed entries
+(see :meth:`repro.nn.module.Module.weight_version`) are invalidated by
+the optimizer bumping the parameter version counters on every step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_metrics
+
+__all__ = [
+    "Memo",
+    "array_fingerprint",
+    "cached_spectral_norm",
+    "cached_average_step_size",
+    "get_memo",
+    "registered_memos",
+    "clear_all_caches",
+]
+
+
+class Memo:
+    """A named, bounded, thread-safe LRU memo table.
+
+    ``get(key, compute)`` returns the cached value for ``key`` or calls
+    ``compute()`` and stores the result.  Hits and misses are counted
+    locally (:attr:`hits` / :attr:`misses`) and mirrored into the global
+    metrics registry, labelled with the memo's name, so a traced run
+    shows exactly which caches carried the workload.
+    """
+
+    def __init__(self, name: str, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, compute: Callable):
+        """Cached value for ``key``, computing (and storing) it on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                get_metrics().counter("cache_hits_total", cache=self.name).inc()
+                return self._entries[key]
+            self.misses += 1
+            get_metrics().counter("cache_misses_total", cache=self.name).inc()
+        # Compute outside the lock: concurrent misses on the same key may
+        # compute twice, but the kernels cached here are pure, so the
+        # duplicate work is benign and the lock never guards user code.
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (the hit/miss totals are retained)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Memo({self.name!r}, size={len(self)}, hits={self.hits}, misses={self.misses})"
+
+
+_MEMOS: dict[str, Memo] = {}
+_MEMOS_LOCK = threading.Lock()
+
+
+def get_memo(name: str, maxsize: int = 256) -> Memo:
+    """The process-global memo registered under ``name`` (created lazily)."""
+    with _MEMOS_LOCK:
+        memo = _MEMOS.get(name)
+        if memo is None:
+            memo = _MEMOS[name] = Memo(name, maxsize=maxsize)
+        return memo
+
+
+def registered_memos() -> dict[str, Memo]:
+    """Snapshot of every registered memo, keyed by name."""
+    with _MEMOS_LOCK:
+        return dict(_MEMOS)
+
+
+def clear_all_caches() -> None:
+    """Empty every registered memo (used between test cases/benchmarks)."""
+    with _MEMOS_LOCK:
+        memos = list(_MEMOS.values())
+    for memo in memos:
+        memo.clear()
+
+
+def array_fingerprint(array: np.ndarray) -> tuple:
+    """Content key for an array: (BLAKE2b-128 digest, shape, dtype).
+
+    Two arrays with equal bytes, shape and dtype map to the same key;
+    any mutation — including in-place writes — changes it.  Hashing runs
+    at memory bandwidth, orders of magnitude cheaper than the power
+    iterations and rounding passes it deduplicates.
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(array.view(np.uint8).reshape(-1), digest_size=16)
+    return (digest.hexdigest(), array.shape, str(array.dtype))
+
+
+def cached_spectral_norm(matrix: np.ndarray) -> float:
+    """:func:`repro.nn.spectral.spectral_norm` memoized on matrix content.
+
+    One power-iteration pass per distinct weight matrix per process: the
+    planner's format sweeps, repeated analyzer constructions and
+    per-feature bound loops all hit the same entry.
+    """
+    from ..nn.spectral import spectral_norm
+
+    memo = get_memo("spectral_norm")
+    key = array_fingerprint(matrix)
+    return memo.get(key, lambda: spectral_norm(matrix))
+
+
+def cached_average_step_size(weights: np.ndarray, fmt) -> float:
+    """:func:`repro.quant.stepsize.average_step_size` memoized on content.
+
+    Keyed by the (frozen, hashable) format plus the weight fingerprint,
+    so a 19-point ``auto_plan`` fraction search evaluates each
+    (layer, format) pair's Table-I step exactly once.
+    """
+    from ..quant.stepsize import average_step_size
+
+    memo = get_memo("step_size")
+    key = (fmt, array_fingerprint(weights))
+    return memo.get(key, lambda: average_step_size(weights, fmt))

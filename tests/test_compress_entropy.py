@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compress.bitstream import BitReader, pack_codes
-from repro.compress.huffman import huffman_decode, huffman_encode
+from repro.compress.huffman import _decode_reference, huffman_decode, huffman_encode
 from repro.exceptions import CompressionError
 
 
@@ -114,3 +114,78 @@ def test_huffman_many_distinct_lengths():
     # exercise the length-limiting fix-up.
     symbols = np.concatenate([np.full(2**i, i, dtype=np.int64) for i in range(18)])
     assert np.array_equal(huffman_decode(huffman_encode(symbols)), symbols)
+
+
+# -- vectorized decoder vs retained scalar reference ----------------------------
+
+
+@given(data=st.lists(st.integers(-50, 50), min_size=0, max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_vectorized_decode_matches_reference(data):
+    blob = huffman_encode(np.asarray(data, dtype=np.int64))
+    assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_vectorized_decode_matches_reference_escape_heavy(seed):
+    rng = np.random.default_rng(seed)
+    symbols = np.round(rng.standard_normal(1500) * 2).astype(np.int64)
+    # Tiny alphabet forces a large escaped fraction with extreme values.
+    symbols[rng.choice(1500, 150, replace=False)] = rng.integers(
+        -(2**31) + 1, 2**31 - 1, 150
+    )
+    blob = huffman_encode(symbols, max_alphabet=8)
+    assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+    assert np.array_equal(huffman_decode(blob), symbols)
+
+
+def test_vectorized_decode_matches_reference_empty():
+    blob = huffman_encode(np.empty(0, dtype=np.int64))
+    assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+
+
+def test_vectorized_decode_matches_reference_large_peaked(rng):
+    symbols = np.round(rng.normal(0.0, 0.7, size=60_000)).astype(np.int64)
+    blob = huffman_encode(symbols)
+    assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+
+
+def test_vectorized_decode_shorter_than_one_block(rng):
+    # Fewer symbols than the 16-wide expansion block exercises the tail.
+    for n in (1, 2, 15, 16, 17):
+        symbols = rng.integers(-3, 3, n)
+        blob = huffman_encode(symbols)
+        assert np.array_equal(huffman_decode(blob), symbols)
+        assert np.array_equal(huffman_decode(blob), _decode_reference(blob))
+
+
+# -- vectorized BitReader vs retained scalar reference --------------------------
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_codes=st.integers(1, 40),
+)
+@settings(max_examples=40, deadline=None)
+def test_bitreader_read_matches_reference(seed, n_codes):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 33, n_codes)
+    values = np.array(
+        [int(rng.integers(0, 2**l)) for l in lengths], dtype=np.uint64
+    )
+    payload, total_bits = pack_codes(values, lengths)
+    vec = BitReader(payload, total_bits)
+    ref = BitReader(payload, total_bits)
+    for length in lengths:
+        assert vec.peek16() == ref._peek16_reference()
+        assert vec.read(int(length)) == ref._read_reference(int(length))
+    assert vec.remaining == ref.remaining == 0
+
+
+def test_bitreader_read_zero_bits():
+    payload, bits = pack_codes(np.array([0b101], dtype=np.uint64), np.array([3]))
+    reader = BitReader(payload, bits)
+    assert reader.read(0) == 0
+    assert reader.position == 0
+    assert reader.read(3) == 0b101
