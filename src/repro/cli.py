@@ -10,15 +10,25 @@ Commands mirror the paper's workflow:
 * ``compress`` /
   ``decompress``  — error-bounded (de)compression of ``.npy`` arrays;
 * ``store``       — summarize a :class:`~repro.io.DatasetStore` directory;
-* ``metrics``     — render a metrics export produced with ``--metrics``.
+* ``metrics``     — render a metrics export produced with ``--metrics``;
+* ``audit``       — predicted-vs-observed error audits: ``record`` runs
+                    an audited pipeline execution into a registry,
+                    ``report`` summarizes a registry and checks drift,
+                    ``diff`` compares the bound tightness of two runs.
 
 Observability is wired through global flags: ``--trace FILE`` writes a
 JSONL span trace of the run, ``--metrics FILE`` a metrics snapshot
 (JSON, or Prometheus text when the file ends in ``.prom``/``.txt``),
-``--trace-summary`` prints the span tree to stderr, and ``--log-level``
-adjusts verbosity.  All human-readable output goes through the
-structured logger; at the default level its ``plain`` format matches
-the historical ``print()`` output byte for byte.
+``--trace-summary`` prints the span tree to stderr, ``--audit FILE``
+audits every pipeline execution into a JSONL run registry, and
+``--log-level`` adjusts verbosity.  All human-readable output goes
+through the structured logger; at the default level its ``plain``
+format matches the historical ``print()`` output byte for byte.
+
+Telemetry files are flushed even when a command raises: export and
+teardown run in nested ``finally`` blocks, so a crashed run still
+leaves its trace, metrics and audit records on disk and the process
+never exits with live observability singletons installed.
 """
 
 from __future__ import annotations
@@ -35,14 +45,21 @@ from .core import InferencePipeline, TolerancePlanner
 from .exceptions import ReproError
 from .io import DatasetStore, blob_from_bytes, blob_to_bytes
 from .obs import (
+    RunRegistry,
+    audit_capture,
     disable as obs_disable,
+    disable_audit,
     enable as obs_enable,
+    enable_audit,
+    get_auditor,
     get_logger,
     get_metrics,
     get_tracer,
     render_metrics_json,
     set_log_level,
 )
+from .obs.audit import DEFAULT_LOOSE_BELOW
+from .obs.registry import DEFAULT_DRIFT_THRESHOLD
 from .quant import STANDARD_FORMATS
 from .workloads import WORKLOAD_NAMES, load_workload
 
@@ -68,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-summary", action="store_true",
         help="print the span tree to stderr after the command",
+    )
+    parser.add_argument(
+        "--audit", metavar="FILE", default=None,
+        help="audit every pipeline execution (predicted-vs-observed "
+        "layerwise bounds) into this JSONL run registry",
     )
     parser.add_argument(
         "--log-level", choices=("debug", "info", "warning", "error"), default="info",
@@ -125,6 +147,52 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="render a metrics export written by --metrics"
     )
     metrics.add_argument("file", help="metrics JSON produced by --metrics")
+
+    audit = commands.add_parser(
+        "audit", help="predicted-vs-observed error audits and drift reports"
+    )
+    audit_cmds = audit.add_subparsers(dest="audit_command", required=True)
+
+    record = audit_cmds.add_parser(
+        "record", help="run one audited pipeline execution into a registry"
+    )
+    record.add_argument("workload", choices=WORKLOAD_NAMES)
+    record.add_argument("--tolerance", type=float, required=True)
+    record.add_argument("--norm", choices=("linf", "l2"), default="linf")
+    record.add_argument("--codec", choices=("sz", "zfp", "mgard"), default="sz")
+    record.add_argument("--fraction", type=float, default=0.5,
+                        help="share of the tolerance allocated to quantization")
+    record.add_argument("--fmt", choices=tuple(STANDARD_FORMATS), default=None,
+                        help="force a weight format instead of letting the "
+                        "planner rank candidates")
+    record.add_argument("--registry", metavar="FILE", default=None,
+                        help="append the audit record to this JSONL registry")
+    record.add_argument("--label", default="",
+                        help="free-form label stored with the run")
+    record.add_argument("--loose-below", type=float, default=DEFAULT_LOOSE_BELOW,
+                        help="tightness below this is flagged 'loose' "
+                        f"(default: {DEFAULT_LOOSE_BELOW})")
+
+    report = audit_cmds.add_parser(
+        "report", help="summarize a run registry and detect tightness drift"
+    )
+    report.add_argument("registry", help="JSONL registry written by 'audit record'")
+    report.add_argument("--last", type=int, default=10,
+                        help="number of most recent runs to list")
+    report.add_argument("--threshold", type=float, default=DEFAULT_DRIFT_THRESHOLD,
+                        help="relative tightness increase flagged as drift "
+                        f"(default: {DEFAULT_DRIFT_THRESHOLD})")
+
+    diff = audit_cmds.add_parser(
+        "diff", help="compare the bound tightness of two registered runs"
+    )
+    diff.add_argument("run_a", help="baseline run id (e.g. run-0001) or index")
+    diff.add_argument("run_b", help="candidate run id or index")
+    diff.add_argument("--registry", required=True,
+                      help="JSONL registry holding both runs")
+    diff.add_argument("--threshold", type=float, default=DEFAULT_DRIFT_THRESHOLD,
+                      help="relative tightness increase flagged as regression "
+                      f"(default: {DEFAULT_DRIFT_THRESHOLD})")
     return parser
 
 
@@ -159,16 +227,24 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _samples_reshape(workload):
+    """Field-to-sample mapping for a workload (None = pipeline default).
+
+    Image workloads feed the batch straight through; ``(V, H, W)`` field
+    workloads use the pipeline's default variables-to-columns reshape.
+    """
+    if workload.name == "eurosat":
+        return lambda f: f.astype(np.float32)
+    return None
+
+
 def _cmd_pipeline(args) -> int:
     workload = load_workload(args.workload)
     _LOG.debug("workload loaded", workload=workload.name, variant=workload.variant)
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
     pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
-    if workload.name == "eurosat":
-        reshape = lambda f: f.astype(np.float32)  # noqa: E731
-    else:
-        reshape = None
+    reshape = _samples_reshape(workload)
     fields = workload.dataset.fields
     if args.chunk_size is not None or args.workers is not None:
         from .perf.parallel import resolve_workers
@@ -256,6 +332,124 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _forced_plan(analyzer, tolerance: float, norm: str, fmt_name: str):
+    """An :class:`InferencePlan` for one *required* weight format.
+
+    Unlike :meth:`TolerancePlanner.plan` there is no fallback: if the
+    format's own quantization bound exceeds the tolerance the resulting
+    :class:`~repro.exceptions.ToleranceError` propagates, because an
+    audit of a format the planner would have rejected is exactly the
+    point of forcing it.
+    """
+    from .core.planner import InferencePlan
+
+    fmt = STANDARD_FORMATS[fmt_name]
+    effective = None if fmt.is_identity else fmt
+    quant_bound = 0.0 if effective is None else analyzer.quantization_bound(effective)
+    input_l2 = analyzer.invert_compression_tolerance(tolerance, effective)
+    input_tolerance = (
+        input_l2 / np.sqrt(analyzer.n_input) if norm == "linf" else input_l2
+    )
+    return InferencePlan(
+        qoi_tolerance=float(tolerance),
+        norm=norm,
+        fmt=fmt,
+        quant_bound=float(quant_bound),
+        input_tolerance=float(input_tolerance),
+        compression_budget=float(tolerance - quant_bound),
+        quant_fraction=float(quant_bound / tolerance),
+        metadata={"forced_fmt": fmt_name},
+    )
+
+
+def _cmd_audit_record(args) -> int:
+    from .reporting import describe_audit
+
+    workload = load_workload(args.workload)
+    if args.fmt:
+        plan = _forced_plan(
+            workload.qoi_analyzer(), args.tolerance, args.norm, args.fmt
+        )
+    else:
+        planner = TolerancePlanner(workload.qoi_analyzer())
+        plan = planner.plan(
+            args.tolerance, norm=args.norm, quant_fraction=args.fraction
+        )
+    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    with audit_capture(
+        registry=args.registry,
+        loose_below=args.loose_below,
+        label=args.label or args.workload,
+    ) as auditor:
+        pipeline.execute(
+            workload.dataset.fields, samples_from_fields=_samples_reshape(workload)
+        )
+        if not auditor.records:
+            _LOG.error("error: the pipeline run produced no audit record")
+            return 1
+        record = auditor.records[-1]
+        violations = record.violations
+    _LOG.info(describe_audit(record.to_dict()))
+    if args.registry:
+        _LOG.info(f"recorded {record.run_id} -> {args.registry}")
+    if violations:
+        _LOG.error(
+            f"AUDIT VIOLATION: observed error exceeded the predicted bound "
+            f"at {', '.join(violations)}"
+        )
+        return 1
+    return 0
+
+
+def _cmd_audit_report(args) -> int:
+    from .reporting import describe_audit_diff
+
+    registry = RunRegistry(args.registry)
+    runs = registry.runs()
+    if not runs:
+        _LOG.info(f"{args.registry}: empty registry")
+        return 0
+    _LOG.info(
+        f"{'run':10s} {'label':16s} {'fmt':>5s} {'codec':>6s} "
+        f"{'qoi tight':>10s} {'verdict':>9s}"
+    )
+    for run in runs[-args.last:]:
+        _LOG.info(
+            f"{run.get('run_id', '?'):10s} {run.get('label', '')[:16]:16s} "
+            f"{run.get('fmt', '?'):>5s} {run.get('codec', '?'):>6s} "
+            f"{run.get('qoi_tightness', 0.0):10.3f} {run.get('verdict', '?'):>9s}"
+        )
+    drift = registry.detect_drift(threshold=args.threshold)
+    if drift is not None:
+        _LOG.info("")
+        _LOG.info(describe_audit_diff(drift))
+        if drift["regressions"] or drift["new_violations"]:
+            return 1
+    return 0
+
+
+def _cmd_audit_diff(args) -> int:
+    from .reporting import describe_audit_diff
+
+    registry = RunRegistry(args.registry)
+    try:
+        diff = registry.diff(args.run_a, args.run_b, threshold=args.threshold)
+    except KeyError as exc:
+        _LOG.error(f"error (KeyError): {exc.args[0]}")
+        return 1
+    _LOG.info(describe_audit_diff(diff))
+    return 1 if diff["regressions"] or diff["new_violations"] else 0
+
+
+def _cmd_audit(args) -> int:
+    handlers = {
+        "record": _cmd_audit_record,
+        "report": _cmd_audit_report,
+        "diff": _cmd_audit_diff,
+    }
+    return handlers[args.audit_command](args)
+
+
 _HANDLERS = {
     "analyze": _cmd_analyze,
     "plan": _cmd_plan,
@@ -264,17 +458,47 @@ _HANDLERS = {
     "decompress": _cmd_decompress,
     "store": _cmd_store,
     "metrics": _cmd_metrics,
+    "audit": _cmd_audit,
 }
 
 
 def _export_metrics(registry, path: str) -> None:
+    from .obs import json_default
+
     if path.endswith((".prom", ".txt")):
         with open(path, "w") as handle:
             handle.write(registry.to_prometheus())
     else:
         with open(path, "w") as handle:
-            json.dump(registry.to_json(), handle, indent=2, sort_keys=True)
+            json.dump(
+                registry.to_json(), handle, indent=2, sort_keys=True,
+                default=json_default,
+            )
             handle.write("\n")
+
+
+def _flush_observability(args) -> None:
+    """Export every requested telemetry file, attempting all of them.
+
+    One failing export must not swallow the others, so each file is
+    written under its own ``finally`` chain; the first failure is
+    re-raised after every export was attempted.
+    """
+    tracer, registry = get_tracer(), get_metrics()
+    try:
+        if args.trace:
+            tracer.export_jsonl(args.trace)
+            _LOG.debug("trace written", file=args.trace, spans=len(tracer.finished))
+    finally:
+        try:
+            if args.metrics:
+                _export_metrics(registry, args.metrics)
+                _LOG.debug("metrics written", file=args.metrics)
+        finally:
+            if args.trace_summary:
+                tree = tracer.render_tree()
+                if tree:
+                    sys.stderr.write(tree + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -283,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
     observing = bool(args.trace or args.metrics or args.trace_summary)
     if observing:
         obs_enable()
+    if args.audit:
+        enable_audit(registry=args.audit)
     try:
         try:
             return _HANDLERS[args.command](args)
@@ -290,18 +516,22 @@ def main(argv: list[str] | None = None) -> int:
             _LOG.error(f"error ({type(exc).__name__}): {exc}")
             return 1
     finally:
-        if observing:
-            tracer, registry = get_tracer(), get_metrics()
-            if args.trace:
-                tracer.export_jsonl(args.trace)
-                _LOG.debug("trace written", file=args.trace, spans=len(tracer.finished))
-            if args.metrics:
-                _export_metrics(registry, args.metrics)
-                _LOG.debug("metrics written", file=args.metrics)
-            if args.trace_summary:
-                tree = tracer.render_tree()
-                if tree:
-                    sys.stderr.write(tree + "\n")
+        # Nested so teardown always runs: a raising export (or a raising
+        # command) must still restore the no-op singletons and must not
+        # lose the other telemetry files.
+        try:
+            if observing:
+                _flush_observability(args)
+        finally:
+            auditor = get_auditor()
+            if args.audit and auditor.enabled:
+                _LOG.debug(
+                    "audit registry written",
+                    file=args.audit,
+                    runs=len(auditor.records),
+                    violations=auditor.violation_count,
+                )
+            disable_audit()
             obs_disable()
 
 

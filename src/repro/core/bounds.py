@@ -44,6 +44,7 @@ __all__ = [
     "mlp_combined_bound",
     "compression_gain",
     "propagate",
+    "propagate_chain_trajectory",
     "step_sizes_for",
 ]
 
@@ -224,6 +225,44 @@ def propagate(
         input_signal_l2 = float(np.sqrt(spec.n_input))
     state = ErrorState(delta=float(input_error_l2), signal=float(input_signal_l2))
     return _propagate_chain(spec.chain, state, steps, signal_caps)
+
+
+def propagate_chain_trajectory(
+    spec: NetworkSpec,
+    input_error_l2: float,
+    steps: dict[int, float],
+    input_signal_l2: float | None = None,
+    signal_caps: dict[int, float] | None = None,
+) -> list[ErrorState]:
+    """Intermediate recurrence states after each linear layer of a chain.
+
+    The audit layer compares *observed* per-layer errors against the
+    bound's predicted envelope, so it needs the recurrence's trajectory,
+    not just its endpoint.  Element ``l`` bounds the perturbation of the
+    activation leaving layer ``l`` (after that layer's activation
+    function) — exactly the point where a lockstep dual-path forward can
+    measure the real error.
+
+    Only defined for pure chains (MLP-style specs): a residual graph has
+    no single "after layer l" cut, so layerwise auditing falls back to
+    the end-to-end bound there.  The final state's ``delta`` equals
+    :func:`propagate`'s result exactly.
+    """
+    items = spec.chain.items
+    if not all(isinstance(item, LinearSpec) for item in items):
+        raise ConfigurationError(
+            "layerwise bound trajectories require a pure chain of linear "
+            "layers; residual graphs only support the end-to-end bound"
+        )
+    if input_signal_l2 is None:
+        input_signal_l2 = float(np.sqrt(spec.n_input))
+    state = ErrorState(delta=float(input_error_l2), signal=float(input_signal_l2))
+    trajectory: list[ErrorState] = []
+    for item in items:
+        cap = None if signal_caps is None else signal_caps.get(id(item))
+        state = _propagate_linear(item, state, steps[id(item)], cap)
+        trajectory.append(state.copy())
+    return trajectory
 
 
 def compression_gain(spec: NetworkSpec) -> float:

@@ -24,7 +24,12 @@ from ..exceptions import ToleranceError
 from ..nn.module import Module
 from ..perf.cache import get_memo
 from ..quant.formats import NumericFormat
-from .bounds import compression_gain, propagate, step_sizes_for
+from .bounds import (
+    compression_gain,
+    propagate,
+    propagate_chain_trajectory,
+    step_sizes_for,
+)
 from .graph import LinearSpec, NetworkSpec, extract_spec
 
 __all__ = ["ErrorFlowAnalyzer"]
@@ -213,6 +218,40 @@ class ErrorFlowAnalyzer:
             steps=steps,
             signal_caps=self._signal_caps,
         ).delta
+
+    def layer_bounds(
+        self,
+        input_error_l2: float,
+        fmt: NumericFormat | Sequence[NumericFormat] | None,
+    ) -> list[float]:
+        """Cumulative Eq. (3) envelope after each linear layer.
+
+        Element ``l`` bounds the L2 perturbation of the activation leaving
+        layer ``l`` under the given input error and weight format; the
+        last element equals :meth:`combined_bound`.  Chain (MLP-style)
+        specs only — the audit layer uses this as the per-layer predicted
+        envelope against which observed lockstep errors are compared.
+        Raises :class:`~repro.exceptions.ConfigurationError` on residual
+        graphs.
+        """
+        self._refresh_spec()
+        steps = self._steps(fmt)
+        trajectory = propagate_chain_trajectory(
+            self.spec,
+            input_error_l2=float(input_error_l2),
+            steps=steps,
+            signal_caps=self._signal_caps,
+        )
+        return [state.delta for state in trajectory]
+
+    def layer_bounds_linf(
+        self,
+        input_error_linf: float,
+        fmt: NumericFormat | Sequence[NumericFormat] | None,
+    ) -> list[float]:
+        """Per-layer envelope with an L-infinity input error."""
+        input_l2 = float(input_error_linf) * np.sqrt(self.n_input)
+        return self.layer_bounds(input_l2, fmt)
 
     # -- L-infinity bounds ----------------------------------------------------
     def combined_bound_linf(

@@ -107,6 +107,17 @@ class NetworkSpec:
     def n_layers(self) -> int:
         return len(self.linear_specs())
 
+    @property
+    def is_chain(self) -> bool:
+        """True when the graph is a pure linear chain (no residual nodes).
+
+        Chains support per-layer bound trajectories
+        (:func:`~repro.core.bounds.propagate_chain_trajectory`) and hence
+        layerwise auditing; residual graphs only expose the end-to-end
+        bound.
+        """
+        return all(isinstance(item, LinearSpec) for item in self.chain.items)
+
 
 def _layer_sigma(layer: Module, effective: np.ndarray) -> float:
     alpha = getattr(layer, "spectral_alpha", None)

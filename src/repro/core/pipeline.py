@@ -18,15 +18,16 @@ instead of killing it.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
-from ..exceptions import CompressionError, IntegrityError, PlanningError
+from ..exceptions import CompressionError, IntegrityError, PlanningError, ReproError
 from ..nn.module import Module
-from ..obs import get_metrics, get_tracer
+from ..obs import get_auditor, get_logger, get_metrics, get_tracer
 from ..perf.parallel import parallel_map, resolve_workers
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
@@ -121,6 +122,8 @@ class InferencePipeline:
         self.screen = screen
         self.quantized: QuantizedModel = quantize_model(model, plan.fmt)
         self._mode = self._select_mode()
+        self._audit_recorder = None
+        self._audit_lock = threading.Lock()
 
     def _select_mode(self) -> ErrorBoundMode:
         if self.plan.norm == "linf":
@@ -255,7 +258,8 @@ class InferencePipeline:
         PipelineResult
             Outputs, reference (uncompressed FP32) outputs, timings and
             achieved input errors.  ``extra["integrity"]`` records what
-            the guards observed.
+            the guards observed; ``extra["audit"]`` holds the layerwise
+            predicted-vs-observed record when auditing is enabled.
         """
         if samples_from_fields is None:
             samples_from_fields = lambda f: f.reshape(f.shape[0], -1).T.astype(np.float32)  # noqa: E731
@@ -357,7 +361,68 @@ class InferencePipeline:
                     tracer, metrics, result, spans, inference_span, guard_span, root,
                     observed_input_error=achieved,
                 )
+            auditor = get_auditor()
+            if auditor.enabled:
+                self._audit_execution(auditor, result, reference_samples, samples)
         return result
+
+    def _audit_execution(
+        self,
+        auditor,
+        result: PipelineResult,
+        reference_samples: np.ndarray,
+        samples: np.ndarray,
+    ) -> None:
+        """Layerwise predicted-vs-observed audit of one execution.
+
+        Only reached when a live auditor is installed (the disabled cost
+        is one attribute check in :meth:`execute`).  Runs both models
+        again with capture hooks — roughly doubling inference cost for
+        the audited run — and never kills the run it observes: audit
+        failures degrade to a warning.
+        """
+        try:
+            # One audit at a time: the recorder attaches capture hooks to
+            # the shared model, so concurrent chunk workers would observe
+            # each other's activations.
+            with self._audit_lock:
+                record = self._audit_recorder_for(reference_samples, auditor).audit(
+                    reference_samples, samples, loose_below=auditor.loose_below
+                )
+            record.codec = self.codec.name
+            record.fmt = self.plan.fmt.name
+            record.norm = self.plan.norm
+            record.qoi_tolerance = float(self.plan.qoi_tolerance)
+            record.input_tolerance = float(self.plan.input_tolerance)
+            integrity = result.extra.get("integrity", {})
+            record.metadata = {
+                "compression_ratio": float(result.compression_ratio),
+                "degraded": bool(integrity.get("degraded", False)),
+                "recoveries": int(integrity.get("recoveries", 0)),
+                "samples": int(len(samples)),
+            }
+            auditor.record_run(record)
+            result.extra["audit"] = record.to_dict()
+        except ReproError as exc:
+            get_logger("pipeline").warning(
+                "audit skipped: could not evaluate the layerwise envelope",
+                error=str(exc),
+            )
+
+    def _audit_recorder_for(self, reference_samples: np.ndarray, auditor):
+        """Cached lockstep recorder (spec extraction pays once per
+        pipeline).  Caller must hold ``_audit_lock``."""
+        if self._audit_recorder is None:
+            from ..obs.audit import LayerwiseErrorRecorder
+
+            n_input = int(np.prod(np.asarray(reference_samples).shape[1:]))
+            self._audit_recorder = LayerwiseErrorRecorder(
+                self.model,
+                self.quantized,
+                n_input=n_input or None,
+                quant_safety=auditor.quant_safety,
+            )
+        return self._audit_recorder
 
     def execute_chunked(
         self,
@@ -379,6 +444,11 @@ class InferencePipeline:
         Only pointwise (L-infinity) tolerances compose per chunk — the
         max over slab-wise maxima equals the global maximum.  An L2
         budget does not split this way, so L2 plans are rejected.
+
+        When error auditing is enabled (:func:`repro.obs.enable_audit`)
+        every chunk is audited as its own run: one
+        :class:`~repro.obs.audit.AuditRecord` per chunk, appended to the
+        registry from the worker thread that produced it.
 
         Parameters
         ----------

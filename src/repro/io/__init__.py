@@ -1,15 +1,17 @@
 """Persistent storage of compressed arrays (the disk side of Fig. 1)."""
 
 from .chunked import ChunkedArrayReader, ChunkedArrayWriter, read_chunked, write_chunked
-from .serialization import blob_from_bytes, blob_to_bytes
+from .serialization import append_jsonl, blob_from_bytes, blob_to_bytes, read_jsonl_records
 from .store import DatasetStore
 
 __all__ = [
     "ChunkedArrayReader",
     "ChunkedArrayWriter",
     "DatasetStore",
+    "append_jsonl",
     "blob_from_bytes",
     "blob_to_bytes",
     "read_chunked",
+    "read_jsonl_records",
     "write_chunked",
 ]

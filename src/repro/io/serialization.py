@@ -23,13 +23,21 @@ Every malformed input raises a typed :class:`CompressionError` (or its
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 
 from ..compress.base import CompressedBlob, ErrorBoundMode
 from ..exceptions import CompressionError, IntegrityError
 
-__all__ = ["blob_to_bytes", "blob_from_bytes", "BLOB_MAGIC", "BLOB_VERSION"]
+__all__ = [
+    "blob_to_bytes",
+    "blob_from_bytes",
+    "append_jsonl",
+    "read_jsonl_records",
+    "BLOB_MAGIC",
+    "BLOB_VERSION",
+]
 
 _MAGIC = b"RBLB"
 _VERSION = 2
@@ -79,6 +87,53 @@ def blob_to_bytes(blob: CompressedBlob, version: int = _VERSION) -> bytes:
     else:
         raise CompressionError(f"cannot write blob version {version}")
     return _MAGIC + prelude + header_bytes + blob.payload
+
+
+# -- append-only JSONL (audit run registry) ---------------------------------
+
+
+def append_jsonl(path: str, payload: dict, default=None) -> None:
+    """Append one JSON object to ``path`` as a single atomic write.
+
+    The record is serialized first, then written with one ``os.write`` on
+    an ``O_APPEND`` descriptor: concurrent appenders (parallel chunked
+    execution auditing per chunk) interleave whole lines, never bytes,
+    and a crashed writer can at worst lose its own line — readers skip a
+    torn trailing line rather than failing.  ``default`` is the
+    ``json.dumps`` fallback converter for non-native values.
+    """
+    line = json.dumps(payload, sort_keys=True, default=default) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def read_jsonl_records(path: str) -> list[dict]:
+    """Load every well-formed record from an append-only JSONL file.
+
+    Blank lines are skipped; a malformed *final* line (a torn append from
+    a crashed writer) is dropped silently, but corruption anywhere else
+    raises :class:`IntegrityError` — that indicates real file damage, not
+    an interrupted append.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle]
+    lines = [line for line in lines if line]
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            if index == len(lines) - 1:
+                break  # torn trailing append: recoverable by design
+            raise IntegrityError(
+                f"corrupt JSONL record at line {index + 1} of {path!r}: {exc}"
+            ) from exc
+    return records
 
 
 def _parse_header(raw: bytes) -> dict:

@@ -21,7 +21,7 @@ from .activations import (
 from .conv import Conv2d, SpectralConv2d
 from .linear import Linear, SpectralLinear
 from .losses import CrossEntropyLoss, MSELoss, spectral_penalty, spectral_penalty_backward
-from .module import Module, Parameter
+from .module import HookHandle, Module, Parameter
 from .normalization import BatchNorm1d, BatchNorm2d, fold_batchnorm_scale
 from .optim import SGD, Adam, Optimizer
 from .pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
@@ -58,6 +58,7 @@ __all__ = [
     "Linear",
     "MSELoss",
     "MaxPool2d",
+    "HookHandle",
     "Module",
     "Optimizer",
     "PReLU",

@@ -14,13 +14,37 @@ input, caching whatever it needs from the forward pass.
 
 from __future__ import annotations
 
-from typing import Iterator
+import itertools
+from typing import Callable, Iterator
 
 import numpy as np
 
 from ..exceptions import ShapeError
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "HookHandle"]
+
+#: process-wide hook registration ids (monotone, never reused)
+_HOOK_IDS = itertools.count()
+
+
+class HookHandle:
+    """Removable registration token returned by ``register_forward_hook``."""
+
+    __slots__ = ("_hooks", "_key")
+
+    def __init__(self, hooks: dict, key: int) -> None:
+        self._hooks = hooks
+        self._key = key
+
+    def remove(self) -> None:
+        """Unregister the hook; safe to call more than once."""
+        self._hooks.pop(self._key, None)
+
+    def __enter__(self) -> "HookHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()
 
 
 class Parameter:
@@ -104,6 +128,7 @@ class Module:
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_hooks", {})
         object.__setattr__(self, "training", True)
 
     # -- registration ---------------------------------------------------
@@ -210,6 +235,21 @@ class Module:
             param.data = value.copy()
             param.grad = np.zeros_like(param.data)
 
+    # -- hooks ----------------------------------------------------------
+    def register_forward_hook(
+        self, hook: Callable[["Module", np.ndarray, np.ndarray], None]
+    ) -> HookHandle:
+        """Call ``hook(module, input, output)`` after every forward pass.
+
+        Hooks observe; their return value is ignored and cannot alter the
+        data flow.  The audit layer's lockstep recorder uses them to
+        capture intermediate activations without touching layer code.
+        Remove via the returned :class:`HookHandle`.
+        """
+        key = next(_HOOK_IDS)
+        self._forward_hooks[key] = hook
+        return HookHandle(self._forward_hooks, key)
+
     # -- compute --------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -218,4 +258,8 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+        output = self.forward(x)
+        if self._forward_hooks:
+            for hook in tuple(self._forward_hooks.values()):
+                hook(self, x, output)
+        return output

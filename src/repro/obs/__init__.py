@@ -42,31 +42,57 @@ from .metrics import (
     NullMetrics,
     render_metrics_json,
 )
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, json_default, read_jsonl
+from .registry import RunRegistry
+from .audit import (
+    NULL_AUDITOR,
+    AuditRecord,
+    Auditor,
+    LayerAudit,
+    LayerwiseErrorRecorder,
+    NullAuditor,
+    audit_capture,
+    disable_audit,
+    enable_audit,
+    get_auditor,
+    set_auditor,
+)
 
 __all__ = [
+    "AuditRecord",
+    "Auditor",
     "Counter",
     "Gauge",
     "Histogram",
+    "LayerAudit",
     "LayerTimingHandle",
+    "LayerwiseErrorRecorder",
     "LEVELS",
     "Logger",
     "MetricsRegistry",
+    "NullAuditor",
     "NullMetrics",
     "NullTracer",
+    "RunRegistry",
     "Span",
     "Tracer",
     "attach_layer_timing",
+    "audit_capture",
     "capture",
     "disable",
+    "disable_audit",
     "enable",
+    "enable_audit",
     "enabled",
+    "get_auditor",
     "get_log_level",
     "get_logger",
     "get_metrics",
     "get_tracer",
+    "json_default",
     "read_jsonl",
     "render_metrics_json",
+    "set_auditor",
     "set_log_level",
     "set_metrics",
     "set_tracer",

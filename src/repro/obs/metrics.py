@@ -17,6 +17,7 @@ two cheap method calls and no allocation.
 from __future__ import annotations
 
 import math
+import random
 import threading
 
 __all__ = [
@@ -65,26 +66,58 @@ class Gauge:
 class Histogram:
     """Raw-sample histogram with exact percentile summaries.
 
-    Observation counts in this codebase are small (per-stage timings,
-    per-layer step sizes), so the histogram keeps the raw samples and
-    computes exact percentiles by sorting on demand — no bucket-boundary
-    error, no pre-declared bucket layout.
+    Observation counts in this codebase are usually small (per-stage
+    timings, per-layer step sizes), so the histogram keeps the raw
+    samples and computes exact percentiles by sorting on demand — no
+    bucket-boundary error, no pre-declared bucket layout.
+
+    Long chunked runs are the exception: a per-chunk timing series grows
+    with the data, so retained samples are capped at ``cap`` (default
+    :data:`DEFAULT_CAP`).  Below the cap percentiles stay exact; beyond
+    it the retained set degrades gracefully to a uniform reservoir
+    (Vitter's Algorithm R) and percentiles become estimates over it.
+    ``sum``, ``count``, ``min`` and ``max`` remain exact regardless.
+    Pass ``cap=None`` for the old unbounded behavior.
     """
 
-    __slots__ = ("samples", "sum")
+    __slots__ = ("samples", "sum", "cap", "_count", "_min", "_max", "_random")
 
-    def __init__(self) -> None:
+    #: default retained-sample budget; at 8 bytes a float this bounds a
+    #: series at ~32 KiB no matter how many chunks a run observes
+    DEFAULT_CAP = 4096
+
+    def __init__(self, cap: int | None = DEFAULT_CAP) -> None:
+        if cap is not None and cap <= 0:
+            raise ValueError(f"histogram cap must be positive or None, got {cap}")
         self.samples: list[float] = []
         self.sum = 0.0
+        self.cap = cap
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        # deterministic per-instance stream so exports are reproducible
+        self._random = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.samples.append(value)
         self.sum += value
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self.cap is None or len(self.samples) < self.cap:
+            self.samples.append(value)
+        else:
+            # reservoir replacement: every observation so far retained
+            # with equal probability cap / count
+            slot = self._random.randrange(self._count)
+            if slot < self.cap:
+                self.samples[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     def percentile(self, p: float) -> float:
         """Exact percentile (linear interpolation), ``p`` in [0, 100]."""
@@ -109,8 +142,8 @@ class Histogram:
         return {
             "count": self.count,
             "sum": self.sum,
-            "min": min(self.samples),
-            "max": max(self.samples),
+            "min": self._min,
+            "max": self._max,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
@@ -129,12 +162,17 @@ def _label_suffix(label_key: tuple) -> str:
 
 
 class MetricsRegistry:
-    """Name+labels keyed collection of counters, gauges and histograms."""
+    """Name+labels keyed collection of counters, gauges and histograms.
+
+    ``histogram_cap`` bounds the raw samples each histogram retains (see
+    :class:`Histogram`); ``None`` disables the cap.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, histogram_cap: int | None = Histogram.DEFAULT_CAP) -> None:
         self._series: dict[str, dict] = {}
+        self.histogram_cap = histogram_cap
         # Guards series creation so worker threads (parallel chunked
         # execution) can request instruments concurrently.  Increments on
         # the instruments themselves stay lock-free.
@@ -165,7 +203,9 @@ class MetricsRegistry:
         return self._instrument("gauge", Gauge, name, labels)
 
     def histogram(self, name: str, **labels) -> Histogram:
-        return self._instrument("histogram", Histogram, name, labels)
+        return self._instrument(
+            "histogram", lambda: Histogram(cap=self.histogram_cap), name, labels
+        )
 
     # -- reads ----------------------------------------------------------
     def value(self, name: str, **labels) -> float:

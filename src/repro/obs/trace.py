@@ -19,7 +19,33 @@ import json
 import threading
 import time
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "json_default",
+    "read_jsonl",
+]
+
+
+def json_default(value):
+    """Best-effort converter for non-JSON-native values in telemetry.
+
+    Span attributes and audit metadata routinely carry numpy scalars and
+    small arrays (``np.float32`` errors, shape tuples); a bare
+    ``json.dumps`` raises ``TypeError`` on them, which would lose a whole
+    trace at export time.  Numpy scalars and arrays both expose
+    ``tolist()`` (scalars return plain Python numbers), so that one hook
+    covers the common cases without importing numpy here; anything else
+    degrades to ``str`` rather than failing the export.
+    """
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) if not isinstance(v, (int, float, str)) else v for v in value)
+    return str(value)
 
 
 class Span:
@@ -166,10 +192,15 @@ class Tracer:
         return [span.to_dict() for span in self.finished]
 
     def export_jsonl(self, path: str) -> None:
-        """Write one JSON object per finished span (completion order)."""
+        """Write one JSON object per finished span (completion order).
+
+        Non-JSON-native attribute values (numpy scalars, arrays) are
+        converted through :func:`json_default` so an exotic attribute can
+        never crash the export and lose the trace.
+        """
         with open(path, "w") as handle:
             for span in self.finished:
-                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write(json.dumps(span.to_dict(), sort_keys=True, default=json_default))
                 handle.write("\n")
 
     def render_tree(self, min_fraction: float = 0.0) -> str:

@@ -3,7 +3,9 @@
 :func:`describe_model` renders the layer table a practitioner checks
 before reduction: per-layer type, shape, parameter count, spectral norm
 and the Table-I step sizes; :func:`describe_analysis` summarizes what the
-error-flow analyzer would answer for every standard format.
+error-flow analyzer would answer for every standard format;
+:func:`describe_audit` and :func:`describe_audit_diff` render one audit
+record and the tightness comparison of two registered runs.
 """
 
 from __future__ import annotations
@@ -16,7 +18,12 @@ from .quant.formats import STANDARD_FORMATS
 from .quant.quantizer import quantizable_layers
 from .quant.stepsize import average_step_size
 
-__all__ = ["describe_model", "describe_analysis"]
+__all__ = [
+    "describe_analysis",
+    "describe_audit",
+    "describe_audit_diff",
+    "describe_model",
+]
 
 
 def describe_model(model: Module) -> str:
@@ -79,4 +86,87 @@ def describe_analysis(
         if reference_norm:
             row += f" {bound / reference_norm:>10.3e}"
         lines.append(row)
+    return "\n".join(lines)
+
+
+def describe_audit(record: dict) -> str:
+    """Render one audit record (an ``AuditRecord.to_dict()`` payload).
+
+    Per-layer rows show the observed L2 error at each segment end, the
+    predicted cumulative Inequality (3) envelope, their ratio
+    (*tightness*: 1.0 = bound exactly attained, >1 = violated) and the
+    verdict; a summary line carries the QoI-level result and provenance.
+    """
+    lines = [
+        f"audit {record.get('run_id') or '(unregistered)'}"
+        f"  codec={record.get('codec', '?')} fmt={record.get('fmt', '?')}"
+        f" norm={record.get('norm', '?')}"
+        f" weights=v{record.get('weight_version', '?')}"
+    ]
+    if record.get("layers"):
+        lines.append(
+            f"{'layer':<12} {'observed L2':>12} {'bound':>12} "
+            f"{'tightness':>10} {'verdict':>10}"
+        )
+        for layer in record["layers"]:
+            lines.append(
+                f"{layer['name']:<12} {layer['observed_l2']:>12.4e} "
+                f"{layer['predicted_bound']:>12.4e} "
+                f"{layer['tightness']:>10.3f} {layer['verdict']:>10}"
+            )
+    else:
+        lines.append("(no per-layer envelope: QoI-only audit)")
+    lines.append(
+        f"QoI: observed {record.get('qoi_observed', 0.0):.4e}"
+        f" / predicted {record.get('qoi_predicted', 0.0):.4e}"
+        f" = tightness {record.get('qoi_tightness', 0.0):.3f}"
+        f"  [{record.get('verdict', '?')}]"
+    )
+    return "\n".join(lines)
+
+
+def describe_audit_diff(diff: dict) -> str:
+    """Render a registry diff (:meth:`~repro.obs.registry.RunRegistry.diff`).
+
+    Flags every layer whose tightness regressed more than the diff's
+    threshold and every newly violated bound; the weight-version line
+    distinguishes "the model changed" from "the bound quality changed".
+    """
+    changed = "changed" if diff.get("weights_changed") else "unchanged"
+    lines = [
+        f"audit diff {diff.get('run_a', '?')} -> {diff.get('run_b', '?')}"
+        f"  (weights {changed}:"
+        f" v{diff.get('weight_version_a', '?')} -> v{diff.get('weight_version_b', '?')})"
+    ]
+    if diff.get("layers"):
+        lines.append(
+            f"{'layer':<12} {'tight A':>10} {'tight B':>10} {'delta':>10} {'':>12}"
+        )
+        for row in diff["layers"]:
+            flag = ""
+            if row.get("regressed"):
+                flag = f"REGRESSED +{row['relative'] * 100.0:.0f}%"
+            lines.append(
+                f"{row['name']:<12} {row['tightness_a']:>10.3f} "
+                f"{row['tightness_b']:>10.3f} {row['delta']:>+10.3f} {flag:>12}"
+            )
+    qoi = diff.get("qoi", {})
+    lines.append(
+        f"QoI tightness: {qoi.get('tightness_a', 0.0):.3f} -> "
+        f"{qoi.get('tightness_b', 0.0):.3f} ({qoi.get('delta', 0.0):+.3f})"
+    )
+    threshold = diff.get("threshold", 0.0)
+    if diff.get("regressions"):
+        lines.append(
+            f"tightness regressed >{threshold * 100.0:.0f}% at: "
+            + ", ".join(diff["regressions"])
+        )
+    if diff.get("new_violations"):
+        lines.append("NEW VIOLATIONS at: " + ", ".join(diff["new_violations"]))
+    if diff.get("structure_changed"):
+        lines.append(
+            "layers present in only one run: " + ", ".join(diff["structure_changed"])
+        )
+    if not (diff.get("regressions") or diff.get("new_violations")):
+        lines.append(f"no drift beyond {threshold * 100.0:.0f}% threshold")
     return "\n".join(lines)

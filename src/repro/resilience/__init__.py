@@ -28,10 +28,17 @@ from .inject import (
     poison_nan,
     truncate,
 )
-from .policy import CorruptionPolicy, record_recovery, record_retry, resolve_policy
+from .policy import (
+    CorruptionPolicy,
+    record_audit_violation,
+    record_recovery,
+    record_retry,
+    resolve_policy,
+)
 
 __all__ = [
     "CorruptionPolicy",
+    "record_audit_violation",
     "record_recovery",
     "record_retry",
     "FaultInjector",

@@ -21,7 +21,13 @@ from enum import Enum
 from ..exceptions import ConfigurationError
 from ..obs import get_metrics
 
-__all__ = ["CorruptionPolicy", "record_recovery", "record_retry", "resolve_policy"]
+__all__ = [
+    "CorruptionPolicy",
+    "record_audit_violation",
+    "record_recovery",
+    "record_retry",
+    "resolve_policy",
+]
 
 
 class CorruptionPolicy(Enum):
@@ -53,6 +59,21 @@ def record_recovery(policy: CorruptionPolicy, component: str) -> None:
     get_metrics().counter(
         "recoveries_total", policy=policy.value, component=component
     ).inc()
+
+
+def record_audit_violation(component: str, count: int = 1) -> None:
+    """Mirror audit bound violations into the resilience counters.
+
+    A predicted-vs-observed violation means the theory the pipeline's
+    tolerance allocation rests on did not cover reality for this run —
+    operationally the same severity as a codec contract breach, so it
+    lands in the same ``contract_violations_total`` family (``stage=
+    "audit"``) that alerting already watches, in addition to the audit
+    layer's own ``audit_violations_total``.
+    """
+    get_metrics().counter(
+        "contract_violations_total", stage="audit", codec=component
+    ).inc(count)
 
 
 def resolve_policy(value: "CorruptionPolicy | str") -> CorruptionPolicy:

@@ -197,3 +197,141 @@ def test_log_level_error_silences_stdout(capsys):
         ["--log-level", "error", "plan", "h2combustion", "--tolerance", "1e-2"]
     ) == 0
     assert capsys.readouterr().out == ""
+
+
+def test_audit_record_command(tmp_path, capsys):
+    from repro.obs import read_jsonl
+
+    registry_path = tmp_path / "runs.jsonl"
+    assert main(
+        [
+            "audit", "record", "h2combustion", "--tolerance", "1e-2",
+            "--registry", str(registry_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tightness" in out
+    assert "recorded run-0001" in out
+    (record,) = read_jsonl(str(registry_path))
+    assert record["run_id"] == "run-0001"
+    assert record["verdict"] in ("ok", "loose")
+    assert record["layers"], "PSN MLP audits must carry per-layer rows"
+
+
+def test_audit_record_forced_format(tmp_path, capsys):
+    registry_path = tmp_path / "runs.jsonl"
+    assert main(
+        [
+            "audit", "record", "h2combustion", "--tolerance", "2e-1",
+            "--fmt", "int8", "--registry", str(registry_path),
+        ]
+    ) == 0
+    assert "fmt=int8" in capsys.readouterr().out
+
+
+def test_audit_record_rejects_infeasible_format(tmp_path, capsys):
+    assert main(
+        [
+            "audit", "record", "h2combustion", "--tolerance", "1e-6",
+            "--fmt", "int8", "--registry", str(tmp_path / "runs.jsonl"),
+        ]
+    ) == 1
+    assert "error (ToleranceError)" in capsys.readouterr().err
+
+
+def test_audit_report_and_diff(tmp_path, capsys):
+    registry_path = tmp_path / "runs.jsonl"
+    for _ in range(2):
+        assert main(
+            [
+                "audit", "record", "h2combustion", "--tolerance", "1e-2",
+                "--registry", str(registry_path),
+            ]
+        ) == 0
+    capsys.readouterr()
+
+    assert main(["audit", "report", str(registry_path)]) == 0
+    out = capsys.readouterr().out
+    assert "run-0001" in out and "run-0002" in out
+
+    assert main(
+        ["audit", "diff", "run-0001", "run-0002", "--registry", str(registry_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "audit diff run-0001 -> run-0002" in out
+    assert "no drift" in out
+
+
+def test_audit_diff_unknown_run(tmp_path, capsys):
+    registry_path = tmp_path / "runs.jsonl"
+    assert main(
+        [
+            "audit", "record", "h2combustion", "--tolerance", "1e-2",
+            "--registry", str(registry_path),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["audit", "diff", "run-0001", "run-0099", "--registry", str(registry_path)]
+    ) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_audit_flag_on_pipeline_command(tmp_path, capsys):
+    from repro.obs import NULL_AUDITOR, get_auditor, read_jsonl
+
+    registry_path = tmp_path / "runs.jsonl"
+    assert main(
+        [
+            "--audit", str(registry_path),
+            "pipeline", "h2combustion", "--tolerance", "1e-2",
+        ]
+    ) == 0
+    capsys.readouterr()
+    (record,) = read_jsonl(str(registry_path))
+    assert record["codec"] == "sz"
+    assert get_auditor() is NULL_AUDITOR  # switched off after main
+
+
+def test_observability_flushes_when_command_raises(tmp_path, capsys):
+    from repro.obs import NULL_TRACER, get_auditor, get_tracer, NULL_AUDITOR
+
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    audit_path = tmp_path / "runs.jsonl"
+    with pytest.raises(FileNotFoundError):
+        main(
+            [
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+                "--audit", str(audit_path),
+                "compress", str(tmp_path / "missing.npy"),
+                "--out", str(tmp_path / "out.rblob"), "--tolerance", "1e-3",
+            ]
+        )
+    capsys.readouterr()
+    # partial telemetry still lands on disk and the globals are reset
+    assert trace_path.exists()
+    assert metrics_path.exists()
+    assert get_tracer() is NULL_TRACER
+    assert get_auditor() is NULL_AUDITOR
+
+
+def test_metrics_flush_survives_trace_export_failure(tmp_path, capsys, monkeypatch):
+    from repro.obs import NULL_TRACER, Tracer, get_tracer
+
+    def _boom(self, path):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(Tracer, "export_jsonl", _boom)
+    metrics_path = tmp_path / "metrics.json"
+    with pytest.raises(OSError, match="disk full"):
+        main(
+            [
+                "--trace", str(tmp_path / "trace.jsonl"),
+                "--metrics", str(metrics_path),
+                "pipeline", "h2combustion", "--tolerance", "1e-2",
+            ]
+        )
+    capsys.readouterr()
+    assert metrics_path.exists()  # later exports ran despite the failure
+    assert get_tracer() is NULL_TRACER

@@ -150,3 +150,68 @@ def test_inversion_rejects_infeasible(trained_spectral_mlp):
     quant_bound = analyzer.quantization_bound(INT8)
     with pytest.raises(ToleranceError):
         analyzer.invert_compression_tolerance(quant_bound * 0.5, INT8)
+
+
+# -- per-layer envelope soundness (audit layer substrate) --------------------
+
+
+@given(
+    fmt_index=st.integers(0, 3),
+    log_noise=st.integers(-6, -2),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_layer_envelope_covers_observed_layerwise_error(
+    trained_spectral_mlp, fmt_index, log_noise, seed
+):
+    """Property: at every segment end, the observed activation error of
+    the perturbed quantized path stays under the cumulative Inequality
+    (3) envelope — the soundness claim the audit layer enforces at
+    runtime, across all Table-I formats and perturbation magnitudes.
+    """
+    from repro.obs.audit import LayerwiseErrorRecorder, VERDICT_VIOLATION
+
+    fmt = _FORMATS[fmt_index]
+    quantized = quantize_model(trained_spectral_mlp, fmt)
+    recorder = LayerwiseErrorRecorder(trained_spectral_mlp, quantized)
+
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, (32, 5)).astype(np.float32)
+    amplitude = 10.0**log_noise
+    noise = rng.uniform(-amplitude, amplitude, x.shape).astype(np.float32)
+
+    record = recorder.audit(x, x + noise)
+    assert record.layerwise and len(record.layers) == 3
+    for layer in record.layers:
+        assert layer.verdict != VERDICT_VIOLATION
+        assert layer.observed_l2 <= layer.predicted_bound * (1 + 1e-6)
+
+
+def test_layer_envelope_matches_direct_trajectory(trained_spectral_mlp):
+    """The analyzer's per-layer bounds equal the raw recurrence
+    trajectory from :func:`propagate_chain_trajectory`."""
+    from repro.core.bounds import propagate_chain_trajectory, step_sizes_for
+
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp)
+    via_analyzer = analyzer.layer_bounds(1e-3, FP16)
+    trajectory = propagate_chain_trajectory(
+        analyzer.spec,
+        input_error_l2=1e-3,
+        steps=step_sizes_for(analyzer.spec, FP16),
+    )
+    assert via_analyzer == pytest.approx([state.delta for state in trajectory])
+
+
+def test_layer_bounds_reject_residual_graphs(rng):
+    from repro.exceptions import ConfigurationError
+    from repro.nn.residual import ResidualBlock
+
+    model = Sequential(
+        Linear(4, 4, rng=rng),
+        ResidualBlock(Sequential(Linear(4, 4, rng=rng), Tanh())),
+        Identity(),
+    )
+    model.eval()
+    analyzer = ErrorFlowAnalyzer(model)
+    with pytest.raises(ConfigurationError):
+        analyzer.layer_bounds(1e-3, FP16)

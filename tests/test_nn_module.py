@@ -106,3 +106,53 @@ def test_register_module_for_lists():
     container = Module()
     container.register_module("layer0", Linear(2, 2))
     assert len(list(container.parameters())) == 2
+
+
+def test_forward_hook_receives_module_inputs_output():
+    seen = []
+    layer = Linear(4, 2)
+    layer.register_forward_hook(
+        lambda module, inputs, output: seen.append((module, inputs, output))
+    )
+    x = np.ones((3, 4), dtype=np.float32)
+    y = layer(x)
+    (module, inputs, output), = seen
+    assert module is layer
+    assert inputs is x
+    assert output is y
+
+
+def test_forward_hook_handle_remove_stops_firing():
+    calls = []
+    layer = Linear(4, 2)
+    handle = layer.register_forward_hook(lambda m, i, o: calls.append(1))
+    layer(np.ones((1, 4), dtype=np.float32))
+    handle.remove()
+    layer(np.ones((1, 4), dtype=np.float32))
+    assert len(calls) == 1
+    handle.remove()  # idempotent
+
+
+def test_forward_hook_context_manager_detaches():
+    calls = []
+    layer = Linear(4, 2)
+    with layer.register_forward_hook(lambda m, i, o: calls.append(1)):
+        layer(np.ones((1, 4), dtype=np.float32))
+    layer(np.ones((1, 4), dtype=np.float32))
+    assert len(calls) == 1
+
+
+def test_forward_hooks_on_sequential_children_fire_in_order():
+    model = Sequential(Linear(4, 8), Tanh(), Linear(8, 2))
+    fired = []
+    handles = [
+        child.register_forward_hook(
+            lambda m, i, o, index=index: fired.append((index, o.shape))
+        )
+        for index, child in enumerate(model)
+    ]
+    model(np.ones((5, 4), dtype=np.float32))
+    assert [index for index, __ in fired] == [0, 1, 2]
+    assert [shape for __, shape in fired] == [(5, 8), (5, 8), (5, 2)]
+    for handle in handles:
+        handle.remove()

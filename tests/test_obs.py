@@ -488,3 +488,103 @@ def test_trainer_spans_and_layer_timing(tiny_mlp, rng):
     # hooks were detached after fit: plain training leaves no shims
     for __, module in tiny_mlp.named_modules():
         assert "forward" not in vars(module)
+
+
+# -- histogram sample cap (reservoir degradation) ---------------------------
+
+
+def test_histogram_caps_retained_samples():
+    histogram = Histogram(cap=100)
+    for value in range(10_000):
+        histogram.observe(float(value))
+    assert len(histogram.samples) == 100
+    # aggregate statistics stay exact past the cap
+    assert histogram.count == 10_000
+    assert histogram.sum == pytest.approx(sum(range(10_000)))
+    summary = histogram.summary()
+    assert summary["min"] == 0.0 and summary["max"] == 9999.0
+    assert summary["count"] == 10_000
+    # the reservoir is a uniform subsample: the median estimate must land
+    # in the bulk of the distribution, not at an extreme
+    assert 2000 < summary["p50"] < 8000
+
+
+def test_histogram_below_cap_is_exact():
+    histogram = Histogram(cap=100)
+    for value in range(1, 51):
+        histogram.observe(value)
+    assert len(histogram.samples) == 50
+    assert histogram.percentile(50) == pytest.approx(25.5)
+
+
+def test_histogram_reservoir_is_deterministic():
+    first, second = Histogram(cap=16), Histogram(cap=16)
+    for value in range(1000):
+        first.observe(value)
+        second.observe(value)
+    assert first.samples == second.samples
+
+
+def test_histogram_unbounded_with_none_cap():
+    histogram = Histogram(cap=None)
+    for value in range(10_000):
+        histogram.observe(value)
+    assert len(histogram.samples) == 10_000
+
+
+def test_histogram_rejects_non_positive_cap():
+    with pytest.raises(ValueError):
+        Histogram(cap=0)
+    with pytest.raises(ValueError):
+        Histogram(cap=-5)
+
+
+def test_registry_histogram_cap_flows_to_instruments():
+    registry = MetricsRegistry(histogram_cap=8)
+    histogram = registry.histogram("pipeline_stage_seconds", stage="compress")
+    for value in range(100):
+        histogram.observe(value)
+    assert len(histogram.samples) == 8 and histogram.count == 100
+    # default registries use the class default
+    assert MetricsRegistry().histogram("x").cap == Histogram.DEFAULT_CAP
+
+
+# -- telemetry export hardening (numpy attribute values) --------------------
+
+
+def test_export_jsonl_survives_numpy_attributes(tmp_path):
+    from repro.obs import json_default
+
+    tracer = Tracer()
+    with tracer.span(
+        "stage",
+        error=np.float32(1.5),
+        rows=np.int64(42),
+        shape=np.array([2, 3]),
+        flags={"b", "a"},
+    ):
+        pass
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(str(path))
+    (record,) = read_jsonl(str(path))
+    assert record["attributes"]["error"] == 1.5
+    assert record["attributes"]["rows"] == 42
+    assert record["attributes"]["shape"] == [2, 3]
+    assert record["attributes"]["flags"] == ["a", "b"]
+    # the converter itself: scalars via tolist, exotic objects via str
+    assert json_default(np.float64(2.0)) == 2.0
+    assert isinstance(json_default(object()), str)
+
+
+def test_metrics_json_export_survives_numpy_values(tmp_path):
+    from repro.cli import _export_metrics
+
+    registry = MetricsRegistry()
+    registry.gauge("compression_ratio").set(np.float32(3.5))
+    registry.counter("events_total").inc(np.int64(2))
+    path = tmp_path / "metrics.json"
+    _export_metrics(registry, str(path))
+    payload = json.loads(path.read_text())
+    values = {row["name"]: row["value"] for row in payload["metrics"]}
+    assert values["compression_ratio"] == pytest.approx(3.5)
+    assert values["events_total"] == 2

@@ -1,0 +1,503 @@
+"""Error-budget audit layer: recorder, registry, auditor switchboard.
+
+Covers the dual-path lockstep recorder (per-layer observed error vs the
+predicted Inequality (3) envelope), AuditRecord round-trips through the
+JSONL registry, diffing/drift detection, the pipeline wiring behind the
+off-by-default null-object switch, and the audit metrics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compress import SZCompressor
+from repro.core import ErrorFlowAnalyzer, InferencePipeline, TolerancePlanner
+from repro.exceptions import IntegrityError, ShapeError
+from repro.nn import Identity, Linear, ReLU, Sequential, Tanh
+from repro.obs.audit import (
+    NULL_AUDITOR,
+    AuditRecord,
+    Auditor,
+    LayerAudit,
+    LayerwiseErrorRecorder,
+    VERDICT_LOOSE,
+    VERDICT_OK,
+    VERDICT_VIOLATION,
+    classify,
+)
+from repro.obs.registry import RunRegistry
+from repro.quant import BF16, FP16, INT8, TF32, STANDARD_FORMATS, quantize_model
+
+_FORMATS = {"tf32": TF32, "fp16": FP16, "bf16": BF16, "int8": INT8}
+
+
+@pytest.fixture(autouse=True)
+def _pristine_auditor():
+    """Every test starts and ends with the null auditor installed."""
+    obs.disable_audit()
+    yield
+    obs.disable_audit()
+
+
+def _record(
+    qoi_tightness=0.5,
+    verdict=VERDICT_OK,
+    layers=(),
+    weight_version=1,
+    run_id="",
+):
+    return AuditRecord(
+        qoi_predicted=1.0,
+        qoi_observed=qoi_tightness,
+        qoi_tightness=qoi_tightness,
+        verdict=verdict,
+        input_error_l2=1e-4,
+        input_error_linf=1e-5,
+        weight_version=weight_version,
+        layers=list(layers),
+        run_id=run_id,
+        codec="sz",
+        fmt="fp16",
+        norm="linf",
+    )
+
+
+def _layer(index, name, tightness, verdict=VERDICT_OK):
+    return LayerAudit(
+        index=index,
+        name=name,
+        observed_l2=tightness,
+        observed_linf=tightness / 2,
+        predicted_bound=1.0,
+        tightness=tightness,
+        verdict=verdict,
+    )
+
+
+# -- classify ----------------------------------------------------------------
+
+
+def test_classify_verdicts():
+    assert classify(0.5, 1.0) == (0.5, VERDICT_OK)
+    tightness, verdict = classify(2.0, 1.0)
+    assert tightness == 2.0 and verdict == VERDICT_VIOLATION
+    tightness, verdict = classify(0.001, 1.0)
+    assert verdict == VERDICT_LOOSE
+    # exactly attained bounds are ok, not violations
+    assert classify(1.0, 1.0)[1] == VERDICT_OK
+
+
+def test_classify_zero_bound_edges():
+    # both zero: exactly tight, not a violation
+    assert classify(0.0, 0.0) == (0.0, VERDICT_OK)
+    tightness, verdict = classify(1e-3, 0.0)
+    assert tightness == float("inf") and verdict == VERDICT_VIOLATION
+
+
+# -- lockstep recorder -------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(_FORMATS))
+def test_layerwise_observed_never_exceeds_envelope(trained_spectral_mlp, name):
+    """Acceptance criterion: per-layer tightness <= 1.0 on a PSN MLP with
+    SZ-compressed inputs, for every Table-I format."""
+    fmt = _FORMATS[name]
+    quantized = quantize_model(trained_spectral_mlp, fmt)
+    recorder = LayerwiseErrorRecorder(trained_spectral_mlp, quantized)
+    assert recorder.supports_layerwise()
+
+    rng = np.random.default_rng(99)
+    clean = rng.uniform(-1, 1, (64, 5)).astype(np.float32)
+    codec = SZCompressor()
+    blob = codec.compress(clean, 1e-3)
+    perturbed = codec.decompress(blob)
+
+    record = recorder.audit(clean, perturbed)
+    assert record.layerwise
+    assert len(record.layers) == 3
+    for layer in record.layers:
+        assert layer.verdict != VERDICT_VIOLATION
+        assert layer.observed_l2 <= layer.predicted_bound * (1 + 1e-6)
+        assert layer.observed_linf <= layer.observed_l2 + 1e-12
+    assert record.qoi_tightness <= 1.0 + 1e-6
+    assert record.violations == []
+
+
+def test_layer_bounds_are_monotone_prefix_of_combined(trained_spectral_mlp):
+    """The last trajectory element equals the closed-form combined bound."""
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp)
+    bounds = analyzer.layer_bounds(1e-3, FP16)
+    assert len(bounds) == 3
+    assert bounds[-1] == pytest.approx(analyzer.combined_bound(1e-3, FP16))
+    assert all(b > 0 for b in bounds)
+
+
+def test_recorder_detects_tampered_model(trained_spectral_mlp):
+    """Breaking the quantized model after analysis must raise VIOLATION —
+    the audit exists to catch exactly this class of silent drift."""
+    quantized = quantize_model(trained_spectral_mlp, FP16)
+    # sabotage: scale one materialized weight tensor well past any format
+    quantized.model[2].weight.data = quantized.model[2].weight.data * 3.0
+    recorder = LayerwiseErrorRecorder(trained_spectral_mlp, quantized)
+    rng = np.random.default_rng(5)
+    clean = rng.uniform(-1, 1, (32, 5)).astype(np.float32)
+    record = recorder.audit(clean, clean)
+    assert record.verdict == VERDICT_VIOLATION
+    assert record.violations
+
+
+def test_recorder_shape_mismatch_raises(trained_spectral_mlp):
+    quantized = quantize_model(trained_spectral_mlp, FP16)
+    recorder = LayerwiseErrorRecorder(trained_spectral_mlp, quantized)
+    with pytest.raises(ShapeError):
+        recorder.audit(np.zeros((4, 5)), np.zeros((3, 5)))
+
+
+def test_recorder_falls_back_to_qoi_for_residual_models(rng):
+    from repro.nn.residual import ResidualBlock
+
+    model = Sequential(
+        Linear(6, 6, rng=rng),
+        ReLU(),
+        ResidualBlock(Sequential(Linear(6, 6, rng=rng), Tanh())),
+        Linear(6, 2, rng=rng),
+        Identity(),
+    )
+    model.eval()
+    quantized = quantize_model(model, FP16)
+    recorder = LayerwiseErrorRecorder(model, quantized, quant_safety=2.0)
+    assert not recorder.supports_layerwise()
+    x = rng.uniform(-1, 1, (8, 6)).astype(np.float32)
+    record = recorder.audit(x, x)
+    assert not record.layerwise
+    assert record.layers == []
+    assert record.qoi_predicted > 0
+    assert record.verdict != VERDICT_VIOLATION
+
+
+# -- record serialization ----------------------------------------------------
+
+
+def test_audit_record_round_trip():
+    record = _record(layers=[_layer(0, "0", 0.4), _layer(1, "2", 0.6)])
+    record.metadata = {"compression_ratio": 3.5}
+    clone = AuditRecord.from_dict(record.to_dict())
+    assert clone == record
+
+
+def test_violations_property():
+    ok = _record()
+    assert ok.violations == []
+    layered = _record(
+        verdict=VERDICT_VIOLATION,
+        layers=[_layer(0, "0", 0.4), _layer(1, "2", 2.0, VERDICT_VIOLATION)],
+    )
+    assert layered.violations == ["2"]
+    qoi_only = _record(verdict=VERDICT_VIOLATION)
+    assert qoi_only.violations == ["qoi"]
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_assigns_sequential_run_ids(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    assert len(registry) == 0
+    first = registry.append(_record())
+    second = registry.append(_record())
+    assert first["run_id"] == "run-0001"
+    assert second["run_id"] == "run-0002"
+    assert registry.run_ids() == ["run-0001", "run-0002"]
+    # records carrying an id keep it
+    third = registry.append(_record(run_id="import-7"))
+    assert third["run_id"] == "import-7"
+
+
+def test_registry_get_by_id_and_index(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    registry.append(_record(qoi_tightness=0.1))
+    registry.append(_record(qoi_tightness=0.2))
+    assert registry.get("run-0002")["qoi_tightness"] == 0.2
+    assert registry.get(0)["qoi_tightness"] == 0.1
+    assert registry.get(-1)["qoi_tightness"] == 0.2
+    with pytest.raises(KeyError):
+        registry.get("run-9999")
+    with pytest.raises(KeyError):
+        registry.get(7)
+
+
+def test_registry_round_trip_preserves_record(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    record = _record(layers=[_layer(0, "0", 0.4)])
+    registry.append(record)
+    loaded = AuditRecord.from_dict(registry.get("run-0001"))
+    record.run_id = "run-0001"
+    assert loaded == record
+
+
+def test_registry_tolerates_torn_trailing_line(tmp_path):
+    path = tmp_path / "reg.jsonl"
+    registry = RunRegistry(str(path))
+    registry.append(_record())
+    with open(path, "a") as handle:
+        handle.write('{"run_id": "run-0002", "qoi_tigh')  # crashed writer
+    assert registry.run_ids() == ["run-0001"]
+
+
+def test_registry_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "reg.jsonl"
+    registry = RunRegistry(str(path))
+    registry.append(_record())
+    registry.append(_record())
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0][:20]  # corrupt a non-final record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(IntegrityError):
+        registry.runs()
+
+
+# -- diff / drift ------------------------------------------------------------
+
+
+def _two_run_registry(tmp_path, tightness_a, tightness_b, versions=(1, 2)):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    registry.append(
+        _record(
+            layers=[_layer(i, str(i), t) for i, t in enumerate(tightness_a)],
+            weight_version=versions[0],
+        )
+    )
+    registry.append(
+        _record(
+            layers=[_layer(i, str(i), t) for i, t in enumerate(tightness_b)],
+            weight_version=versions[1],
+        )
+    )
+    return registry
+
+
+def test_diff_reports_tightness_delta_and_weight_versions(tmp_path):
+    registry = _two_run_registry(tmp_path, [0.4, 0.5], [0.45, 0.8])
+    diff = registry.diff("run-0001", "run-0002", threshold=0.2)
+    assert diff["weights_changed"]
+    assert diff["weight_version_a"] == 1 and diff["weight_version_b"] == 2
+    rows = {row["name"]: row for row in diff["layers"]}
+    assert rows["0"]["delta"] == pytest.approx(0.05)
+    assert not rows["0"]["regressed"]  # +12.5% < 20% threshold
+    assert rows["1"]["regressed"]  # +60% > 20% threshold
+    assert diff["regressions"] == ["1"]
+
+
+def test_diff_flags_new_violations(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    registry.append(_record(layers=[_layer(0, "0", 0.9)]))
+    registry.append(
+        _record(layers=[_layer(0, "0", 1.5, VERDICT_VIOLATION)], weight_version=2)
+    )
+    diff = registry.diff(0, 1)
+    assert diff["new_violations"] == ["0"]
+    assert diff["regressions"] == ["0"]
+
+
+def test_diff_reports_structure_changes(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    registry.append(_record(layers=[_layer(0, "0", 0.4), _layer(1, "extra", 0.4)]))
+    registry.append(_record(layers=[_layer(0, "0", 0.4)]))
+    diff = registry.diff(0, 1)
+    assert diff["structure_changed"] == ["extra"]
+
+
+def test_detect_drift_needs_two_runs(tmp_path):
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    assert registry.detect_drift() is None
+    registry.append(_record())
+    assert registry.detect_drift() is None
+    registry.append(_record())
+    drift = registry.detect_drift()
+    assert drift is not None and drift["regressions"] == []
+
+
+# -- auditor switchboard -----------------------------------------------------
+
+
+def test_default_auditor_is_null():
+    auditor = obs.get_auditor()
+    assert auditor is NULL_AUDITOR
+    assert not auditor.enabled
+    assert auditor.records == []
+    assert auditor.violation_count == 0
+
+
+def test_enable_disable_audit(tmp_path):
+    auditor = obs.enable_audit(registry=str(tmp_path / "reg.jsonl"), label="x")
+    assert obs.get_auditor() is auditor and auditor.enabled
+    assert isinstance(auditor.registry, RunRegistry)
+    obs.disable_audit()
+    assert obs.get_auditor() is NULL_AUDITOR
+
+
+def test_audit_capture_restores_previous():
+    outer = obs.enable_audit()
+    with obs.audit_capture() as inner:
+        assert obs.get_auditor() is inner
+    assert obs.get_auditor() is outer
+
+
+def test_audit_capture_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with obs.audit_capture():
+            raise RuntimeError("boom")
+    assert obs.get_auditor() is NULL_AUDITOR
+
+
+def test_record_run_backfills_run_id_and_label(tmp_path):
+    auditor = Auditor(
+        registry=RunRegistry(str(tmp_path / "reg.jsonl")), label="nightly"
+    )
+    record = auditor.record_run(_record())
+    assert record.run_id == "run-0001"
+    assert record.label == "nightly"
+    assert record.created_unix > 0
+    assert auditor.records == [record]
+
+
+def test_record_run_emits_metrics(tmp_path):
+    with obs.capture() as (__, metrics):
+        auditor = Auditor()
+        auditor.record_run(_record(layers=[_layer(0, "0", 0.4)]))
+        auditor.record_run(
+            _record(
+                qoi_tightness=2.0,
+                verdict=VERDICT_VIOLATION,
+                layers=[_layer(0, "0", 2.0, VERDICT_VIOLATION)],
+            )
+        )
+        assert metrics.value("audit_runs_total") == 2
+        assert metrics.value("audit_violations_total") == 1
+        # mirrored into the resilience contract-violation family
+        assert metrics.value(
+            "contract_violations_total", stage="audit", codec="sz"
+        ) == 1
+        assert metrics.value(
+            "audit_tightness_ratio", fmt="fp16", codec="sz"
+        ) == pytest.approx(2.0)
+        assert metrics.histogram("audit_layer_tightness").count == 2
+    assert auditor.violation_count == 1
+
+
+# -- pipeline wiring ---------------------------------------------------------
+
+
+def _pipeline(trained_spectral_mlp, tolerance=1e-3):
+    analyzer = ErrorFlowAnalyzer(trained_spectral_mlp)
+    plan = TolerancePlanner(analyzer).plan(tolerance, norm="linf")
+    return InferencePipeline(trained_spectral_mlp, SZCompressor(), plan)
+
+
+def _fields(rng, rows=48):
+    # (V, H, W) layout whose default reshape yields (H*W, V) samples
+    return rng.uniform(-1, 1, (5, rows, 4)).astype(np.float32)
+
+
+def test_pipeline_audit_disabled_is_inert(trained_spectral_mlp, rng, monkeypatch):
+    """With the null auditor installed the audit path must never run —
+    asserted by making every entry point explode if touched."""
+    import repro.obs.audit as audit_module
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("audit path entered while disabled")
+
+    monkeypatch.setattr(audit_module, "LayerwiseErrorRecorder", _boom)
+    monkeypatch.setattr(NULL_AUDITOR.__class__, "record_run", _boom)
+    pipeline = _pipeline(trained_spectral_mlp)
+    result = pipeline.execute(_fields(rng))
+    assert "audit" not in result.extra
+
+
+def test_pipeline_audit_records_run(trained_spectral_mlp, rng, tmp_path):
+    path = tmp_path / "reg.jsonl"
+    pipeline = _pipeline(trained_spectral_mlp)
+    with obs.audit_capture(registry=str(path), label="unit") as auditor:
+        result = pipeline.execute(_fields(rng))
+    assert len(auditor.records) == 1
+    record = auditor.records[0]
+    assert record.run_id == "run-0001"
+    assert record.codec == "sz" and record.norm == "linf"
+    assert record.label == "unit"
+    assert record.layerwise and len(record.layers) == 3
+    assert record.metadata["samples"] == 192
+    payload = result.extra["audit"]
+    assert payload["run_id"] == "run-0001"
+    assert payload["qoi_tightness"] <= 1.0 + 1e-6
+    # persisted and identical
+    assert RunRegistry(str(path)).get("run-0001") == record.to_dict()
+
+
+def test_pipeline_audit_chunked_one_record_per_chunk(
+    trained_spectral_mlp, rng, tmp_path
+):
+    path = tmp_path / "reg.jsonl"
+    pipeline = _pipeline(trained_spectral_mlp)
+    with obs.audit_capture(registry=str(path)) as auditor:
+        pipeline.execute_chunked(_fields(rng), chunk_size=16, workers=2, chunk_axis=1)
+    assert len(auditor.records) == 3
+    registry = RunRegistry(str(path))
+    assert len(registry) == 3
+    assert sorted(registry.run_ids()) == ["run-0001", "run-0002", "run-0003"]
+    for run in registry.runs():
+        assert run["verdict"] != VERDICT_VIOLATION
+
+
+def test_pipeline_audit_failure_degrades_to_warning(
+    trained_spectral_mlp, rng, monkeypatch, capsys
+):
+    """A broken audit must never kill the pipeline run it observes."""
+    from repro.exceptions import ToleranceError
+
+    pipeline = _pipeline(trained_spectral_mlp)
+
+    def _raise(*args, **kwargs):
+        raise ToleranceError("synthetic audit failure")
+
+    monkeypatch.setattr(
+        LayerwiseErrorRecorder, "audit", _raise
+    )
+    with obs.audit_capture() as auditor:
+        result = pipeline.execute(_fields(rng))
+    assert auditor.records == []
+    assert "audit" not in result.extra
+    assert "audit skipped" in capsys.readouterr().err
+
+
+def test_pipeline_audit_weight_version_tracks_model(
+    trained_spectral_mlp, rng, tmp_path
+):
+    """Registry diff between runs with different weight versions reports
+    the version change (acceptance criterion)."""
+    path = tmp_path / "reg.jsonl"
+    pipeline = _pipeline(trained_spectral_mlp)
+    fields = _fields(rng)
+    with obs.audit_capture(registry=str(path)):
+        pipeline.execute(fields)
+        # a weight update (e.g. fine-tuning step) bumps the version
+        layer = trained_spectral_mlp[0]
+        layer.raw_weight.data = layer.raw_weight.data * 1.001
+        pipeline.execute(fields)
+    registry = RunRegistry(str(path))
+    diff = registry.diff("run-0001", "run-0002")
+    assert diff["weights_changed"]
+    assert diff["weight_version_b"] > diff["weight_version_a"]
+
+
+def test_registry_append_handles_numpy_values(tmp_path):
+    """Provenance metadata often carries numpy scalars; the registry's
+    JSON encoding must absorb them."""
+    registry = RunRegistry(str(tmp_path / "reg.jsonl"))
+    record = _record()
+    record.metadata = {"ratio": np.float32(3.5), "rows": np.int64(12)}
+    registry.append(record)
+    loaded = registry.get(0)
+    assert loaded["metadata"] == {"ratio": 3.5, "rows": 12}
+    json.dumps(loaded)  # fully JSON-native after the round trip
