@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Micro-benchmarks for the PR-4 hot paths.
+"""Micro-benchmarks for the chunked-execution hot paths.
 
-Three paths are timed and written as JSON rows of
+Four paths are timed and written as JSON rows of
 ``{path, config, seconds, throughput_mb_s}`` (see docs/PERFORMANCE.md
 for how to read the output):
 
@@ -10,13 +10,16 @@ for how to read the output):
 * ``bound_eval``          — a planner-style format x fraction sweep with
   cold caches vs warm caches;
 * ``pipeline_chunked``    — ``InferencePipeline.execute_chunked`` serial
-  vs a 4-worker thread pool.
+  vs a 4-worker thread pool vs the supervised 4-worker process pool;
+* ``pipeline_checkpoint`` — the same serial run with and without the
+  durable checkpoint journal (journaling overhead).
 
-Throughput numbers are hardware-dependent (the pool speedup in
-particular requires free cores — ``config.cpu_count`` records what was
-available).  Usage::
+Throughput numbers are hardware-dependent (the pool speedups in
+particular require free cores — ``config.cpu_count`` records what was
+available; on a 1-CPU host the process-pool row's ``overhead_vs_serial``
+is the fault-free supervision+IPC cost instead of a speedup).  Usage::
 
-    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--quick] [--out BENCH_pr4.json]
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--quick] [--out BENCH_pr6.json]
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 import time
 
 import numpy as np
@@ -134,7 +138,7 @@ def bench_bound_eval(reps: int) -> list[dict]:
     return rows
 
 
-def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
+def _chunked_pipeline_setup(side: int, workers: int):
     rng = np.random.default_rng(2)
     model = Sequential(
         SpectralLinear(5, 64, rng=rng), Tanh(), SpectralLinear(64, 1, rng=rng)
@@ -150,13 +154,23 @@ def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
     )
     pipeline = InferencePipeline(model, SZCompressor(), plan)
     chunk_size = max(1, side // (2 * workers))
+    return pipeline, fields, chunk_size
+
+
+def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
+    pipeline, fields, chunk_size = _chunked_pipeline_setup(side, workers)
     mb = fields.nbytes / 1e6
 
+    configs = [
+        ("serial", dict(workers=1)),
+        ("thread", dict(workers=workers, executor="thread")),
+        ("process", dict(workers=workers, executor="process")),
+    ]
     rows = []
-    for n_workers in (1, workers):
+    for executor, kwargs in configs:
         seconds = _best_of(
-            lambda n=n_workers: pipeline.execute_chunked(
-                fields, chunk_size=chunk_size, workers=n, chunk_axis=1
+            lambda kw=kwargs: pipeline.execute_chunked(
+                fields, chunk_size=chunk_size, chunk_axis=1, **kw
             ),
             reps,
         )
@@ -164,7 +178,8 @@ def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
             {
                 "path": "pipeline_chunked",
                 "config": {
-                    "workers": n_workers,
+                    "executor": executor,
+                    "workers": kwargs.get("workers", 1),
                     "chunk_size": chunk_size,
                     "field_shape": list(fields.shape),
                     "reps": reps,
@@ -173,11 +188,59 @@ def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
                 "throughput_mb_s": mb / seconds,
             }
         )
-    speedup = rows[0]["seconds"] / rows[1]["seconds"]
+    serial = rows[0]["seconds"]
     for row in rows:
-        row["config"]["speedup_vs_serial"] = speedup
-    print(f"pipeline_chunked: serial {rows[0]['seconds']*1e3:.1f} ms, "
-          f"{workers} workers {rows[1]['seconds']*1e3:.1f} ms -> {speedup:.2f}x")
+        row["config"]["speedup_vs_serial"] = serial / row["seconds"]
+        # > 0 means slower than serial: on a core-starved host this is
+        # the pool's fault-free overhead (fork + IPC + supervision)
+        row["config"]["overhead_vs_serial"] = row["seconds"] / serial - 1.0
+    for row in rows:
+        print(
+            f"pipeline_chunked[{row['config']['executor']}]: "
+            f"{row['seconds']*1e3:.1f} ms "
+            f"({row['config']['speedup_vs_serial']:.2f}x vs serial)"
+        )
+    return rows
+
+
+def bench_pipeline_checkpoint(side: int, workers: int, reps: int) -> list[dict]:
+    pipeline, fields, chunk_size = _chunked_pipeline_setup(side, workers)
+    mb = fields.nbytes / 1e6
+
+    rows = []
+    with tempfile.TemporaryDirectory() as scratch:
+        configs = [
+            ("off", dict()),
+            # resume=False every rep: fresh journal, full write cost
+            ("on", dict(checkpoint=os.path.join(scratch, "ck"))),
+        ]
+        for journal, kwargs in configs:
+            seconds = _best_of(
+                lambda kw=kwargs: pipeline.execute_chunked(
+                    fields, chunk_size=chunk_size, chunk_axis=1, workers=1, **kw
+                ),
+                reps,
+            )
+            rows.append(
+                {
+                    "path": "pipeline_checkpoint",
+                    "config": {
+                        "journal": journal,
+                        "chunk_size": chunk_size,
+                        "field_shape": list(fields.shape),
+                        "reps": reps,
+                    },
+                    "seconds": seconds,
+                    "throughput_mb_s": mb / seconds,
+                }
+            )
+    overhead = rows[1]["seconds"] / rows[0]["seconds"] - 1.0
+    for row in rows:
+        row["config"]["journal_overhead"] = overhead
+    print(
+        f"pipeline_checkpoint: off {rows[0]['seconds']*1e3:.1f} ms, "
+        f"on {rows[1]['seconds']*1e3:.1f} ms -> {overhead*100:.1f}% overhead"
+    )
     return rows
 
 
@@ -185,7 +248,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller streams / fewer reps (CI smoke)")
-    parser.add_argument("--out", default="BENCH_pr4.json")
+    parser.add_argument("--out", default="BENCH_pr6.json")
     parser.add_argument("--workers", type=int, default=4)
     args = parser.parse_args(argv)
 
@@ -197,6 +260,7 @@ def main(argv=None) -> int:
     rows += bench_huffman(n_symbols, reps)
     rows += bench_bound_eval(reps)
     rows += bench_pipeline_chunked(side, args.workers, reps)
+    rows += bench_pipeline_checkpoint(side, args.workers, reps)
     for row in rows:
         row["config"]["cpu_count"] = os.cpu_count()
         row["config"]["quick"] = args.quick

@@ -42,7 +42,7 @@ import numpy as np
 from . import __version__
 from .compress import ErrorBoundMode, get_compressor
 from .core import InferencePipeline, TolerancePlanner
-from .exceptions import ReproError
+from .exceptions import ConfigurationError, ReproError
 from .io import DatasetStore, blob_from_bytes, blob_to_bytes
 from .obs import (
     RunRegistry,
@@ -119,12 +119,42 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--fraction", type=float, default=0.5)
     pipeline.add_argument(
         "--chunk-size", type=int, default=None,
-        help="run chunked: split the fields into slabs of this extent",
+        help="run chunked: split the fields into slabs of this extent "
+        "(positive integer; default: sized so every worker gets one slab)",
     )
     pipeline.add_argument(
         "--workers", type=int, default=None,
-        help="thread-pool size for chunked execution (0 = one per CPU); "
-        "implies chunked mode when --chunk-size is omitted",
+        help="worker count for chunked execution (positive integer; "
+        "default: 1 = serial); implies chunked mode when --chunk-size "
+        "is omitted",
+    )
+    pipeline.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="chunked execution engine (default: auto = supervised "
+        "process pool when --workers > 1 and fork is available)",
+    )
+    pipeline.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal every certified-complete chunk into this directory "
+        "so a killed run can be resumed; implies chunked mode",
+    )
+    pipeline.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint DIR: verify the journal against "
+        "this run's plan and inputs, replay completed chunks, recompute "
+        "only the rest",
+    )
+    pipeline.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk deadline for the process executor; a worker "
+        "exceeding it is killed and the chunk retried (default: none)",
+    )
+    pipeline.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per chunk before quarantine (process "
+        "executor; quarantined chunks degrade to fallback-lossless "
+        "in-process; default: 2)",
     )
 
     compress = commands.add_parser("compress", help="compress a .npy array")
@@ -238,7 +268,31 @@ def _samples_reshape(workload):
     return None
 
 
+def _validate_pipeline_args(args) -> None:
+    """Reject malformed chunking flags with a clear typed error instead
+    of a deep traceback from the execution layers."""
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise ConfigurationError(
+            f"--chunk-size must be a positive integer, got {args.chunk_size}"
+        )
+    if args.workers is not None and args.workers <= 0:
+        raise ConfigurationError(
+            f"--workers must be a positive integer, got {args.workers}"
+        )
+    if args.max_retries < 0:
+        raise ConfigurationError(
+            f"--max-retries must be >= 0, got {args.max_retries}"
+        )
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise ConfigurationError(
+            f"--task-timeout must be positive, got {args.task_timeout}"
+        )
+    if args.resume and not args.checkpoint:
+        raise ConfigurationError("--resume requires --checkpoint DIR")
+
+
 def _cmd_pipeline(args) -> int:
+    _validate_pipeline_args(args)
     workload = load_workload(args.workload)
     _LOG.debug("workload loaded", workload=workload.name, variant=workload.variant)
     planner = TolerancePlanner(workload.qoi_analyzer())
@@ -246,7 +300,12 @@ def _cmd_pipeline(args) -> int:
     pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
     reshape = _samples_reshape(workload)
     fields = workload.dataset.fields
-    if args.chunk_size is not None or args.workers is not None:
+    chunked_mode = (
+        args.chunk_size is not None
+        or args.workers is not None
+        or args.checkpoint is not None
+    )
+    if chunked_mode:
         from .perf.parallel import resolve_workers
 
         # images chunk by batch; (V, H, W) fields chunk by rows so slabs
@@ -261,12 +320,37 @@ def _cmd_pipeline(args) -> int:
             workers=args.workers,
             chunk_axis=chunk_axis,
             samples_from_fields=reshape,
+            executor=args.executor,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_retries,
         )
         chunked = result.extra["chunked"]
         _LOG.info(
             f"chunked run: {chunked['n_chunks']} chunks of {chunked['chunk_size']} "
-            f"on {chunked['workers']} worker(s), wall {chunked['wall_seconds']:.3f}s"
+            f"on {chunked['workers']} worker(s) [{chunked['executor']}], "
+            f"wall {chunked['wall_seconds']:.3f}s"
         )
+        supervision = result.extra.get("supervision")
+        if supervision is not None and (
+            supervision["retries"]
+            or supervision["respawns"]
+            or supervision["quarantined"]
+        ):
+            _LOG.info(
+                f"supervision: {supervision['retries']} retries, "
+                f"{supervision['respawns']} worker respawns, "
+                f"quarantined chunks {supervision['quarantined'] or 'none'}"
+                + (" (circuit breaker tripped)" if supervision["breaker_tripped"] else "")
+            )
+        checkpoint = result.extra.get("checkpoint")
+        if checkpoint is not None:
+            _LOG.info(
+                f"checkpoint: {checkpoint['path']} "
+                f"({checkpoint['replayed_chunks']} replayed, "
+                f"{checkpoint['computed_chunks']} computed)"
+            )
         ratio = chunked["compression_ratio"]
     else:
         result = pipeline.execute(fields, samples_from_fields=reshape)

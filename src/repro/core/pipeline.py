@@ -25,18 +25,30 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..compress.base import CompressedBlob, Compressor, ErrorBoundMode
-from ..exceptions import CompressionError, IntegrityError, PlanningError, ReproError
+from ..exceptions import (
+    CompressionError,
+    ConfigurationError,
+    IntegrityError,
+    PlanningError,
+    ReproError,
+)
+from ..io.checkpoint import CheckpointJournal, digest_array
+from ..io.serialization import blob_from_bytes, blob_to_bytes
 from ..nn.module import Module
 from ..obs import get_auditor, get_logger, get_metrics, get_tracer
+from ..obs.audit import AuditRecord
 from ..perf.parallel import parallel_map, resolve_workers
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
+from ..resilience.inject import ChaosInjector
 from ..resilience.policy import (
     CorruptionPolicy,
     record_recovery,
     record_retry,
     resolve_policy,
 )
+from ..resilience.retry import RetryPolicy
+from ..resilience.supervisor import SupervisedPool, fork_available
 from .planner import InferencePlan
 
 __all__ = ["PipelineResult", "InferencePipeline"]
@@ -157,7 +169,7 @@ class InferencePipeline:
         )
 
     def _store_and_load(
-        self, fields: np.ndarray
+        self, fields: np.ndarray, force_lossless: bool = False
     ) -> tuple[CompressedBlob, np.ndarray, float, float, int, dict]:
         """Compress + decompress under the degradation policy.
 
@@ -166,13 +178,17 @@ class InferencePipeline:
         activations and ``spans`` holds the compress/decompress trace
         spans for post-hoc attribute enrichment (observed errors are only
         measurable once the reconstruction is compared to the source).
+
+        ``force_lossless`` skips the codec entirely and goes straight to
+        the degraded lossless blob — the quarantine path for a chunk the
+        supervised pool gave up on.
         """
         tracer = get_tracer()
         predicted = float(self.plan.input_tolerance)
         recoveries = 0
         failure: Exception | None = None
         spans: dict = {}
-        for attempt in range(self.max_retries + 1):
+        for attempt in range(0 if force_lossless else self.max_retries + 1):
             if attempt:
                 record_retry("pipeline")
             start = time.perf_counter()
@@ -216,7 +232,8 @@ class InferencePipeline:
                 if self.on_corruption is CorruptionPolicy.FALLBACK_LOSSLESS:
                     break
         # recompression kept failing (or the policy is lossless): degrade.
-        record_retry("pipeline")
+        if not force_lossless:
+            record_retry("pipeline")
         blob = self._lossless_blob(fields)
         start = time.perf_counter()
         span = tracer.span(
@@ -234,13 +251,17 @@ class InferencePipeline:
                 f"losslessly (policy {self.on_corruption.value!r}): {exc}"
             ) from (failure or exc)
         spans["decompress"] = span
-        record_recovery(self.on_corruption, "pipeline")
+        record_recovery(
+            CorruptionPolicy.FALLBACK_LOSSLESS if force_lossless else self.on_corruption,
+            "pipeline",
+        )
         return blob, reconstructed, 0.0, time.perf_counter() - start, recoveries, spans
 
     def execute(
         self,
         fields: np.ndarray,
         samples_from_fields=None,
+        force_lossless: bool = False,
     ) -> PipelineResult:
         """Run the full pipeline on a normalized field array.
 
@@ -252,6 +273,9 @@ class InferencePipeline:
         samples_from_fields:
             Callable reshaping fields into model-input samples; defaults
             to treating axis 0 as the variable axis of a field workload.
+        force_lossless:
+            Skip the lossy codec and store the fields losslessly — the
+            degraded mode quarantined chunks fall back to.
 
         Returns
         -------
@@ -277,7 +301,7 @@ class InferencePipeline:
                 screen_finite(fields, stage="source", name="fields")
 
             blob, reconstructed, compress_seconds, decompress_seconds, recoveries, spans = (
-                self._store_and_load(fields)
+                self._store_and_load(fields, force_lossless=force_lossless)
             )
 
             samples = samples_from_fields(reconstructed)
@@ -431,15 +455,21 @@ class InferencePipeline:
         workers: int | None = None,
         chunk_axis: int = 0,
         samples_from_fields=None,
+        *,
+        executor: str = "auto",
+        checkpoint: "str | None" = None,
+        resume: bool = False,
+        task_timeout: "float | None" = None,
+        max_task_retries: int = 2,
+        chaos=None,
     ) -> PipelineResult:
         """Run the pipeline over chunks of ``fields``, optionally in parallel.
 
         ``fields`` is split along ``chunk_axis`` into slabs of
         ``chunk_size``; each slab runs the full compress → decompress →
-        infer path independently.  With ``workers > 1`` slabs execute on
-        a thread pool (the heavy kernels are numpy calls that release the
-        GIL).  Results come back in input order regardless of completion
-        order, so the assembled outputs are deterministic.
+        infer path independently.  Results come back in input order
+        regardless of completion order, so the assembled outputs are
+        deterministic.
 
         Only pointwise (L-infinity) tolerances compose per chunk — the
         max over slab-wise maxima equals the global maximum.  An L2
@@ -447,8 +477,10 @@ class InferencePipeline:
 
         When error auditing is enabled (:func:`repro.obs.enable_audit`)
         every chunk is audited as its own run: one
-        :class:`~repro.obs.audit.AuditRecord` per chunk, appended to the
-        registry from the worker thread that produced it.
+        :class:`~repro.obs.audit.AuditRecord` per chunk.  Records
+        produced inside pool workers (or replayed from a checkpoint) are
+        adopted into the parent auditor, so the in-memory record list and
+        the run registry always end up with one entry per chunk.
 
         Parameters
         ----------
@@ -465,15 +497,45 @@ class InferencePipeline:
             batch-of-images workloads).
         samples_from_fields:
             Same reshaping callable as :meth:`execute`, applied per chunk.
+        executor:
+            ``"process"`` — supervised fork-based worker pool (heartbeats,
+            deadlines, respawn, retry/backoff, quarantine, circuit
+            breaker; see :class:`~repro.resilience.supervisor.SupervisedPool`);
+            ``"thread"`` — the PR-4 thread pool (fail-fast, no
+            supervision); ``"serial"`` — in-process loop; ``"auto"``
+            (default) — process pool when ``workers > 1`` and fork is
+            available, else thread, else serial.
+        checkpoint:
+            Directory for a durable
+            :class:`~repro.io.checkpoint.CheckpointJournal`: every
+            certified-complete chunk is persisted (atomic artifact +
+            journal line) as it finishes.  ``None`` disables.
+        resume:
+            Resume from ``checkpoint``: verify the journal belongs to
+            this exact computation (plan fingerprint + per-chunk input
+            digests), replay completed chunks, recompute only the rest.
+        task_timeout:
+            Per-chunk deadline in seconds (process executor only);
+            expiry kills the worker and retries the chunk.
+        max_task_retries:
+            Retry budget per chunk before quarantine (process executor);
+            a quarantined chunk re-runs serially in the parent in
+            degraded lossless mode instead of failing the run.
+        chaos:
+            Optional :class:`~repro.resilience.inject.ChaosInjector`
+            applied inside workers (tests/CI); defaults to the
+            ``REPRO_CHAOS`` environment spec when set.
 
         Returns
         -------
         PipelineResult
             Concatenated outputs; stage timings are summed over chunks,
             input errors are slab-wise maxima (exact for pointwise
-            norms), ``blob`` is the first chunk's blob, and
-            ``extra["chunked"]`` holds the aggregate compression ratio
-            and pool configuration.
+            norms), ``blob`` is the first chunk's blob, and ``extra``
+            carries ``"chunked"`` (pool configuration + aggregate ratio),
+            ``"supervision"`` (retries/respawns/quarantine, process
+            executor only) and ``"checkpoint"`` (path + replay counts,
+            when journaling).
         """
         if not self._mode.is_pointwise:
             raise PlanningError(
@@ -487,6 +549,8 @@ class InferencePipeline:
         extent = fields.shape[chunk_axis]
         if extent == 0:
             raise PlanningError("cannot chunk an empty field array")
+        if resume and checkpoint is None:
+            raise ConfigurationError("resume=True requires a checkpoint directory")
         chunks = [
             np.ascontiguousarray(
                 np.take(fields, np.arange(lo, min(lo + chunk_size, extent)), axis=chunk_axis)
@@ -494,8 +558,28 @@ class InferencePipeline:
             for lo in range(0, extent, chunk_size)
         ]
         n_workers = resolve_workers(workers)
-        # eval() once up front: worker threads must not mutate module state.
+        executor = self._resolve_executor(executor, n_workers)
+        if chaos is None:
+            chaos = ChaosInjector.from_env()
+        if chaos is not None and executor != "process":
+            raise ConfigurationError(
+                "chaos injection simulates worker faults and requires the "
+                f"process executor (resolved executor: {executor!r})"
+            )
+        # eval() once up front: workers must not mutate module state.
         self.model.eval()
+        auditor = get_auditor()
+
+        journal = None
+        digests: "list[str] | None" = None
+        completed_entries: dict = {}
+        if checkpoint is not None:
+            digests = [digest_array(chunk) for chunk in chunks]
+            journal = CheckpointJournal(checkpoint)
+            completed_entries = journal.begin(
+                self._checkpoint_manifest(chunks, chunk_size, chunk_axis, digests),
+                resume=resume,
+            )
 
         tracer = get_tracer()
         wall_start = time.perf_counter()
@@ -505,55 +589,310 @@ class InferencePipeline:
             chunks=len(chunks),
             chunk_size=chunk_size,
             workers=n_workers,
+            executor=executor,
+            resumed=len(completed_entries),
         ) as root:
+            results: "dict[int, PipelineResult]" = {}
+            for index in sorted(completed_entries):
+                results[index] = self._replay_chunk(
+                    journal, completed_entries[index], auditor
+                )
+            pending = [i for i in range(len(chunks)) if i not in results]
 
-            def run_chunk(chunk: np.ndarray) -> PipelineResult:
-                with tracer.span("pipeline.chunk", rows=int(chunk.shape[chunk_axis])):
-                    return self.execute(chunk, samples_from_fields=samples_from_fields)
+            supervision = None
+            if pending and executor == "process":
+                supervision = self._run_chunks_supervised(
+                    chunks,
+                    pending,
+                    samples_from_fields,
+                    journal,
+                    digests,
+                    auditor,
+                    results,
+                    n_workers=n_workers,
+                    task_timeout=task_timeout,
+                    max_task_retries=max_task_retries,
+                    chaos=chaos,
+                )
+            elif pending:
+                journal_lock = threading.Lock()
 
-            results = parallel_map(run_chunk, chunks, workers=workers, label="pipeline")
+                def run_chunk(index: int) -> PipelineResult:
+                    chunk = chunks[index]
+                    with tracer.span(
+                        "pipeline.chunk", rows=int(chunk.shape[chunk_axis])
+                    ):
+                        result = self.execute(
+                            chunk, samples_from_fields=samples_from_fields
+                        )
+                    if journal is not None:
+                        # journal as each chunk completes — a crash loses
+                        # only in-flight work, never finished chunks
+                        with journal_lock:
+                            self._journal_chunk(
+                                journal, index, result, digests[index]
+                            )
+                    return result
+
+                pool_workers = n_workers if executor == "thread" else 1
+                computed = parallel_map(
+                    run_chunk, pending, workers=pool_workers, label="pipeline"
+                )
+                for index, result in zip(pending, computed):
+                    results[index] = result
+
             wall_seconds = time.perf_counter() - wall_start
+            ordered = [results[index] for index in range(len(chunks))]
 
             raw_total = sum(
                 int(np.prod(r.blob.shape)) * np.dtype(r.blob.dtype).itemsize
-                for r in results
+                for r in ordered
             )
-            compressed_total = sum(len(r.blob.payload) for r in results)
+            compressed_total = sum(len(r.blob.payload) for r in ordered)
             integrity = {
                 "screened": self.screen,
                 "policy": self.on_corruption.value,
-                "recoveries": sum(r.extra["integrity"]["recoveries"] for r in results),
-                "degraded": any(r.extra["integrity"]["degraded"] for r in results),
+                "recoveries": sum(
+                    r.extra["integrity"].get("recoveries", 0) for r in ordered
+                ),
+                "degraded": any(
+                    r.extra["integrity"].get("degraded", False) for r in ordered
+                ),
             }
             aggregate_ratio = (
                 raw_total / compressed_total if compressed_total else float("inf")
             )
             root.set(compression_ratio=aggregate_ratio, wall_seconds=wall_seconds)
 
-        return PipelineResult(
-            outputs=np.concatenate([r.outputs for r in results], axis=0),
-            reference_outputs=np.concatenate(
-                [r.reference_outputs for r in results], axis=0
-            ),
-            blob=results[0].blob,
-            plan=self.plan,
-            compress_seconds=sum(r.compress_seconds for r in results),
-            decompress_seconds=sum(r.decompress_seconds for r in results),
-            inference_seconds=sum(r.inference_seconds for r in results),
-            input_error_linf=max(r.input_error_linf for r in results),
-            input_error_l2_max=max(r.input_error_l2_max for r in results),
-            extra={
-                "integrity": integrity,
-                "chunked": {
-                    "n_chunks": len(chunks),
-                    "chunk_size": chunk_size,
-                    "chunk_axis": chunk_axis,
-                    "workers": n_workers,
-                    "wall_seconds": wall_seconds,
-                    "compression_ratio": aggregate_ratio,
-                },
+        extra = {
+            "integrity": integrity,
+            "chunked": {
+                "n_chunks": len(chunks),
+                "chunk_size": chunk_size,
+                "chunk_axis": chunk_axis,
+                "workers": n_workers,
+                "executor": executor,
+                "wall_seconds": wall_seconds,
+                "compression_ratio": aggregate_ratio,
             },
+        }
+        if supervision is not None:
+            extra["supervision"] = supervision
+        if journal is not None:
+            extra["checkpoint"] = {
+                "path": journal.path,
+                "resumed": bool(resume),
+                "replayed_chunks": len(completed_entries),
+                "computed_chunks": len(chunks) - len(completed_entries),
+            }
+
+        return PipelineResult(
+            outputs=np.concatenate([r.outputs for r in ordered], axis=0),
+            reference_outputs=np.concatenate(
+                [r.reference_outputs for r in ordered], axis=0
+            ),
+            blob=ordered[0].blob,
+            plan=self.plan,
+            compress_seconds=sum(r.compress_seconds for r in ordered),
+            decompress_seconds=sum(r.decompress_seconds for r in ordered),
+            inference_seconds=sum(r.inference_seconds for r in ordered),
+            input_error_linf=max(r.input_error_linf for r in ordered),
+            input_error_l2_max=max(r.input_error_l2_max for r in ordered),
+            extra=extra,
         )
+
+    @staticmethod
+    def _resolve_executor(executor: str, n_workers: int) -> str:
+        if executor not in ("auto", "serial", "thread", "process"):
+            raise ConfigurationError(
+                f"executor must be auto|serial|thread|process, got {executor!r}"
+            )
+        if executor == "auto":
+            if n_workers <= 1:
+                return "serial"
+            return "process" if fork_available() else "thread"
+        return executor
+
+    def _checkpoint_manifest(
+        self, chunks, chunk_size: int, chunk_axis: int, digests: "list[str]"
+    ) -> dict:
+        """Run identity for the checkpoint journal: every decision that
+        makes two runs 'the same computation' — plan, codec, chunking —
+        plus per-chunk input digests."""
+        return {
+            "fingerprint": {
+                "codec": self.codec.name,
+                "fmt": self.plan.fmt.name,
+                "norm": self.plan.norm,
+                "qoi_tolerance": float(self.plan.qoi_tolerance),
+                "input_tolerance": float(self.plan.input_tolerance),
+                "quant_bound": float(self.plan.quant_bound),
+                "policy": self.on_corruption.value,
+                "screen": bool(self.screen),
+                "chunk_size": int(chunk_size),
+                "chunk_axis": int(chunk_axis),
+                "n_chunks": len(chunks),
+            },
+            "chunk_digests": list(digests),
+        }
+
+    def _journal_chunk(
+        self,
+        journal: CheckpointJournal,
+        index: int,
+        result: PipelineResult,
+        digest: str,
+        attempts: int = 1,
+        quarantined: bool = False,
+    ) -> None:
+        """Persist one certified-complete chunk (artifact + journal line)."""
+        entry = {
+            "input_digest": digest,
+            "attempts": int(attempts),
+            "quarantined": bool(quarantined),
+            "observed_qoi_error": float(
+                result.qoi_error(self.plan.norm, relative=False)
+            ),
+            "input_error_linf": float(result.input_error_linf),
+            "input_error_l2_max": float(result.input_error_l2_max),
+            "timings": {
+                "compress": result.compress_seconds,
+                "decompress": result.decompress_seconds,
+                "inference": result.inference_seconds,
+            },
+            "integrity": result.extra.get("integrity", {}),
+            "audit": result.extra.get("audit"),
+        }
+        journal.record(
+            index,
+            outputs=result.outputs,
+            reference_outputs=result.reference_outputs,
+            blob_bytes=blob_to_bytes(result.blob),
+            entry=entry,
+        )
+
+    def _replay_chunk(
+        self, journal: CheckpointJournal, entry: dict, auditor
+    ) -> PipelineResult:
+        """Reconstruct a completed chunk's result from the journal.
+
+        The stored audit record (the killed run's verdicts, not a fresh
+        re-audit) is adopted into the parent auditor, so a resumed run's
+        registry matches an uninterrupted one chunk-for-chunk.
+        """
+        payload = journal.load(entry)
+        extra: dict = {
+            "integrity": dict(entry.get("integrity", {})),
+            "replayed": True,
+        }
+        audit_dict = entry.get("audit")
+        if audit_dict:
+            if auditor.enabled:
+                record = auditor.adopt(AuditRecord.from_dict(audit_dict))
+                audit_dict = record.to_dict()
+            extra["audit"] = audit_dict
+        timings = entry.get("timings", {})
+        return PipelineResult(
+            outputs=payload["outputs"],
+            reference_outputs=payload["reference_outputs"],
+            blob=blob_from_bytes(payload["blob_bytes"]),
+            plan=self.plan,
+            compress_seconds=float(timings.get("compress", 0.0)),
+            decompress_seconds=float(timings.get("decompress", 0.0)),
+            inference_seconds=float(timings.get("inference", 0.0)),
+            input_error_linf=float(entry.get("input_error_linf", 0.0)),
+            input_error_l2_max=float(entry.get("input_error_l2_max", 0.0)),
+            extra=extra,
+        )
+
+    def _run_chunks_supervised(
+        self,
+        chunks,
+        pending: "list[int]",
+        samples_from_fields,
+        journal: "CheckpointJournal | None",
+        digests: "list[str] | None",
+        auditor,
+        results: "dict[int, PipelineResult]",
+        *,
+        n_workers: int,
+        task_timeout: "float | None",
+        max_task_retries: int,
+        chaos,
+    ) -> dict:
+        """Run pending chunks on the supervised process pool.
+
+        Fills ``results`` in place and returns the supervision summary.
+        Quarantined chunks are re-run serially in the parent in degraded
+        lossless mode — the run completes with every chunk certified,
+        some of them at compression ratio 1.
+        """
+
+        def task_fn(index: int) -> PipelineResult:
+            return self.execute(chunks[index], samples_from_fields=samples_from_fields)
+
+        def validate(task_id: int, result) -> None:
+            # Workers screen internally, but a fault (or injected
+            # corruption) between the worker's guard and the parent's
+            # queue must not go unnoticed: re-screen on arrival.
+            if self.screen:
+                screen_finite(result.outputs, stage="chunk", name="outputs")
+
+        def on_result(task_id: int, result, outcome) -> None:
+            index = pending[task_id]
+            if (
+                not outcome.inline
+                and auditor.enabled
+                and "audit" in result.extra
+            ):
+                record = auditor.adopt(AuditRecord.from_dict(result.extra["audit"]))
+                result.extra["audit"] = record.to_dict()
+            results[index] = result
+            if journal is not None:
+                self._journal_chunk(
+                    journal, index, result, digests[index], attempts=outcome.attempts
+                )
+
+        pool = SupervisedPool(
+            task_fn,
+            workers=n_workers,
+            task_timeout=task_timeout,
+            retry=RetryPolicy(max_retries=max_task_retries),
+            chaos=chaos,
+            validate=validate if self.screen else None,
+            label="pipeline",
+        )
+        report = pool.run(pending, on_result=on_result)
+
+        quarantined_chunks = [pending[pos] for pos in report.quarantined]
+        for index in quarantined_chunks:
+            outcome = report.outcomes[pending.index(index)]
+            get_logger("pipeline").warning(
+                "quarantined chunk degrading to fallback-lossless in-process",
+                chunk=index,
+                attempts=outcome.attempts,
+                reason=outcome.error,
+            )
+            result = self.execute(
+                chunks[index],
+                samples_from_fields=samples_from_fields,
+                force_lossless=True,
+            )
+            results[index] = result
+            if journal is not None:
+                self._journal_chunk(
+                    journal,
+                    index,
+                    result,
+                    digests[index],
+                    attempts=outcome.attempts,
+                    quarantined=True,
+                )
+
+        summary = report.summary()
+        summary["quarantined"] = quarantined_chunks
+        summary["degraded_chunks"] = quarantined_chunks
+        return summary
 
     def _record_telemetry(
         self,

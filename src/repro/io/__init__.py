@@ -1,16 +1,29 @@
 """Persistent storage of compressed arrays (the disk side of Fig. 1)."""
 
+from .checkpoint import CheckpointJournal, digest_array, digest_bytes
 from .chunked import ChunkedArrayReader, ChunkedArrayWriter, read_chunked, write_chunked
-from .serialization import append_jsonl, blob_from_bytes, blob_to_bytes, read_jsonl_records
+from .serialization import (
+    append_jsonl,
+    atomic_write_bytes,
+    atomic_write_json,
+    blob_from_bytes,
+    blob_to_bytes,
+    read_jsonl_records,
+)
 from .store import DatasetStore
 
 __all__ = [
+    "CheckpointJournal",
     "ChunkedArrayReader",
     "ChunkedArrayWriter",
     "DatasetStore",
     "append_jsonl",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "blob_from_bytes",
     "blob_to_bytes",
+    "digest_array",
+    "digest_bytes",
     "read_chunked",
     "read_jsonl_records",
     "write_chunked",

@@ -1,0 +1,268 @@
+"""Durable checkpoint journal for resumable chunked runs.
+
+A checkpoint is a directory:
+
+```
+<checkpoint>/
+  manifest.json        # run identity: plan fingerprint + chunk digests
+  journal.jsonl        # one record per certified-complete chunk (append-only)
+  chunks/
+    chunk-0000.npz     # outputs, reference outputs, serialized blob bytes
+    ...
+```
+
+Durability model, weakest link first:
+
+* ``manifest.json`` is written atomically (temp + fsync + rename) before
+  any chunk work starts, so a resumed run can always verify it is
+  resuming *the same computation* — same plan decisions, same codec and
+  tolerances, same chunking, same input bytes (per-chunk BLAKE2b
+  digests).  Any mismatch is an :class:`~repro.exceptions.IntegrityError`:
+  silently mixing results from two different runs is exactly the failure
+  mode checkpointing exists to prevent.
+* Chunk artifacts are written atomically **before** their journal line,
+  and each journal line carries the artifact's digest.  The journal is
+  therefore the commit record: an artifact without a journal line is
+  invisible (recomputed), a journal line whose artifact is missing or
+  corrupt is ignored (recomputed), and a torn trailing journal line —
+  the signature of a writer killed mid-append — is dropped by
+  :func:`~repro.io.serialization.read_jsonl_records`.  At every kill
+  point the journal describes only fully-persisted work.
+
+Nothing here knows about pipelines; the journal stores arrays, bytes
+and JSON entries.  :meth:`InferencePipeline.execute_chunked
+<repro.core.pipeline.InferencePipeline.execute_chunked>` composes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, IntegrityError
+from ..obs import get_logger, get_metrics, get_tracer, json_default
+from .serialization import append_jsonl, atomic_write_bytes, atomic_write_json, read_jsonl_records
+
+__all__ = ["CheckpointJournal", "digest_bytes", "digest_array"]
+
+_LOG = get_logger("checkpoint")
+
+_MANIFEST = "manifest.json"
+_JOURNAL = "journal.jsonl"
+_CHUNK_DIR = "chunks"
+_FORMAT_VERSION = 1
+
+
+def digest_bytes(data: bytes) -> str:
+    """Short BLAKE2b hex digest used for all checkpoint integrity checks."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def digest_array(array: np.ndarray) -> str:
+    """Digest of an array's contiguous bytes (dtype+shape prefixed, so
+    identical bytes under different views don't collide)."""
+    array = np.ascontiguousarray(array)
+    prefix = f"{array.dtype.str}:{array.shape}:".encode("utf-8")
+    return digest_bytes(prefix + array.tobytes())
+
+
+class CheckpointJournal:
+    """Append-only journal of certified-complete chunks in a directory.
+
+    Lifecycle::
+
+        journal = CheckpointJournal(path)
+        completed = journal.begin(manifest, resume=True)  # {} when fresh
+        for index not in completed: ...compute...
+            journal.record(index, outputs=o, reference_outputs=r,
+                           blob_bytes=b, entry={...})
+        payload = journal.load(completed[index])          # replay arrays
+    """
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ConfigurationError("checkpoint path must be non-empty")
+        self.path = os.path.abspath(path)
+        self.manifest_path = os.path.join(self.path, _MANIFEST)
+        self.journal_path = os.path.join(self.path, _JOURNAL)
+        self.chunk_dir = os.path.join(self.path, _CHUNK_DIR)
+        self._manifest: "dict | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, manifest: dict, resume: bool = False) -> "dict[int, dict]":
+        """Open the checkpoint; returns completed entries by chunk index.
+
+        ``manifest`` must carry ``fingerprint`` (plan/codec/chunking
+        identity) and ``chunk_digests`` (input digest per chunk index).
+        Fresh start (``resume=False``) discards any previous journal for
+        this directory.  Resume validates the stored manifest against
+        the supplied one and replays only journal entries whose artifact
+        digests verify.
+        """
+        if "fingerprint" not in manifest or "chunk_digests" not in manifest:
+            raise ConfigurationError(
+                "checkpoint manifest requires 'fingerprint' and 'chunk_digests'"
+            )
+        manifest = dict(manifest)
+        manifest["format_version"] = _FORMAT_VERSION
+        os.makedirs(self.chunk_dir, exist_ok=True)
+        tracer = get_tracer()
+
+        if resume and os.path.exists(self.manifest_path):
+            with tracer.span("checkpoint.resume", path=self.path) as span:
+                stored = self._read_manifest()
+                self._check_compatible(stored, manifest)
+                self._manifest = stored
+                completed = self._replay()
+                span.set(completed=len(completed))
+            get_metrics().counter("checkpoint_resumes_total").inc()
+            _LOG.info(
+                "resuming from checkpoint",
+                path=self.path,
+                completed=len(completed),
+                total=len(manifest["chunk_digests"]),
+            )
+            return completed
+
+        # fresh start: drop stale state from any previous run
+        for stale in (self.journal_path,):
+            if os.path.exists(stale):
+                os.unlink(stale)
+        for name in os.listdir(self.chunk_dir):
+            os.unlink(os.path.join(self.chunk_dir, name))
+        atomic_write_json(self.manifest_path, manifest)
+        self._manifest = manifest
+        return {}
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                stored = json.load(handle)
+        except ValueError as exc:
+            raise IntegrityError(
+                f"checkpoint manifest {self.manifest_path!r} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(stored, dict):
+            raise IntegrityError("checkpoint manifest is not a JSON object")
+        return stored
+
+    @staticmethod
+    def _check_compatible(stored: dict, manifest: dict) -> None:
+        if stored.get("format_version") != _FORMAT_VERSION:
+            raise IntegrityError(
+                f"checkpoint format version {stored.get('format_version')!r} "
+                f"does not match {_FORMAT_VERSION}"
+            )
+        if stored.get("fingerprint") != manifest["fingerprint"]:
+            raise IntegrityError(
+                "checkpoint belongs to a different run: plan/codec/chunking "
+                "fingerprint mismatch — refusing to mix results. Use a fresh "
+                "checkpoint directory (or resume=False) for the new plan."
+            )
+        if stored.get("chunk_digests") != manifest["chunk_digests"]:
+            raise IntegrityError(
+                "checkpoint input digests do not match the supplied fields: "
+                "the data changed since the checkpoint was written"
+            )
+
+    def _replay(self) -> "dict[int, dict]":
+        """Validated journal entries, last-write-wins per chunk index."""
+        digests = self._manifest["chunk_digests"]
+        completed: dict[int, dict] = {}
+        dropped = 0
+        for entry in read_jsonl_records(self.journal_path):
+            index = entry.get("chunk")
+            if not isinstance(index, int) or not 0 <= index < len(digests):
+                dropped += 1
+                continue
+            if entry.get("input_digest") not in (None, digests[index]):
+                dropped += 1
+                continue
+            artifact = os.path.join(self.path, entry.get("artifact", ""))
+            try:
+                with open(artifact, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                dropped += 1
+                continue
+            if digest_bytes(data) != entry.get("artifact_digest"):
+                dropped += 1
+                continue
+            completed[index] = entry
+        if dropped:
+            _LOG.warning(
+                "dropped unverifiable journal entries; their chunks will be "
+                "recomputed",
+                dropped=dropped,
+            )
+        return completed
+
+    # -- writes ------------------------------------------------------------
+
+    def record(
+        self,
+        index: int,
+        *,
+        outputs: np.ndarray,
+        reference_outputs: np.ndarray,
+        blob_bytes: bytes,
+        entry: dict,
+    ) -> dict:
+        """Persist one completed chunk: artifact first, then journal line.
+
+        Returns the journal entry as written (with artifact paths and
+        digests filled in).
+        """
+        if self._manifest is None:
+            raise ConfigurationError("CheckpointJournal.record before begin()")
+        tracer = get_tracer()
+        with tracer.span("checkpoint.record", chunk=index):
+            buffer = io.BytesIO()
+            np.savez(
+                buffer,
+                outputs=np.ascontiguousarray(outputs),
+                reference_outputs=np.ascontiguousarray(reference_outputs),
+                blob=np.frombuffer(bytes(blob_bytes), dtype=np.uint8),
+            )
+            data = buffer.getvalue()
+            artifact_rel = os.path.join(_CHUNK_DIR, f"chunk-{index:04d}.npz")
+            atomic_write_bytes(os.path.join(self.path, artifact_rel), data)
+            entry = dict(entry)
+            entry["chunk"] = int(index)
+            entry["artifact"] = artifact_rel
+            entry["artifact_digest"] = digest_bytes(data)
+            append_jsonl(self.journal_path, entry, default=json_default)
+        get_metrics().counter("checkpoint_chunks_recorded_total").inc()
+        return entry
+
+    # -- reads -------------------------------------------------------------
+
+    def load(self, entry: dict) -> dict:
+        """Replay one journal entry's arrays; digest-verified.
+
+        Returns ``{"outputs", "reference_outputs", "blob_bytes", "entry"}``.
+        """
+        artifact = os.path.join(self.path, entry["artifact"])
+        with open(artifact, "rb") as handle:
+            data = handle.read()
+        if digest_bytes(data) != entry.get("artifact_digest"):
+            raise IntegrityError(
+                f"checkpoint artifact {artifact!r} digest mismatch: file "
+                "changed since it was journaled"
+            )
+        with np.load(io.BytesIO(data)) as archive:
+            return {
+                "outputs": archive["outputs"],
+                "reference_outputs": archive["reference_outputs"],
+                "blob_bytes": archive["blob"].tobytes(),
+                "entry": entry,
+            }
+
+    def entries(self) -> "list[dict]":
+        """Every raw journal record (newest last); for inspection/tests."""
+        return read_jsonl_records(self.journal_path)

@@ -26,6 +26,7 @@ import numpy as np
 from ..compress import Compressor, ErrorBoundMode
 from ..exceptions import CompressionError
 from ..perf.parallel import WorkerPool, parallel_map
+from .serialization import atomic_write_bytes
 from .store import DatasetStore
 
 __all__ = ["ChunkedArrayWriter", "ChunkedArrayReader", "write_chunked", "read_chunked"]
@@ -115,8 +116,8 @@ class ChunkedArrayWriter:
             "chunks": self._chunks,
         }
         path = os.path.join(self.store.directory, self.name + _MANIFEST_SUFFIX)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle)
+        # atomic: a reader (or a resumed run) never sees a torn manifest
+        atomic_write_bytes(path, json.dumps(manifest).encode("utf-8"))
         self._closed = True
 
     def __enter__(self) -> "ChunkedArrayWriter":

@@ -34,6 +34,8 @@ __all__ = [
     "blob_to_bytes",
     "blob_from_bytes",
     "append_jsonl",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "read_jsonl_records",
     "BLOB_MAGIC",
     "BLOB_VERSION",
@@ -87,6 +89,39 @@ def blob_to_bytes(blob: CompressedBlob, version: int = _VERSION) -> bytes:
     else:
         raise CompressionError(f"cannot write blob version {version}")
     return _MAGIC + prelude + header_bytes + blob.payload
+
+
+# -- atomic whole-file writes (manifests, checkpoints) ----------------------
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
+
+    A reader never observes a half-written file: it sees either the old
+    content or the new, which is what checkpoint manifests rely on when
+    a run is killed mid-write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = os.path.join(directory, f".{os.path.basename(path)}.tmp.{os.getpid()}")
+    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    try:
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        finally:
+            raise
+
+
+def atomic_write_json(path: str, payload: dict, default=None) -> None:
+    """Atomically write ``payload`` as pretty-printed JSON."""
+    text = json.dumps(payload, indent=2, sort_keys=True, default=default) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 # -- append-only JSONL (audit run registry) ---------------------------------

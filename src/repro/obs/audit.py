@@ -460,6 +460,44 @@ class Auditor:
         self.records: list[AuditRecord] = []
         self._lock = threading.Lock()
 
+    def detached(self) -> "Auditor":
+        """A registry-less clone with the same thresholds.
+
+        Forked workers must keep auditing (the per-chunk record rides
+        back to the parent inside ``PipelineResult.extra``) but must not
+        write the shared run registry — concurrent appends from several
+        processes would race on run-id assignment.  The parent re-records
+        each reconstructed record through its own auditor instead.
+        """
+        return Auditor(
+            registry=None,
+            loose_below=self.loose_below,
+            quant_safety=self.quant_safety,
+            label=self.label,
+        )
+
+    def adopt(self, record: AuditRecord) -> AuditRecord:
+        """Register a record produced in another process under this auditor.
+
+        Pool workers audit with a :meth:`detached` clone and ship the
+        record back to the parent; resumed checkpoints replay records
+        the killed run already persisted.  Either way the record gets a
+        fresh sequential run id here and is stored in memory + registry,
+        but its metrics are **not** re-emitted — the producing process
+        emitted them once (worker counter deltas merge separately).
+        """
+        record.run_id = ""
+        if not record.created_unix:
+            record.created_unix = time.time()
+        if not record.label:
+            record.label = self.label
+        with self._lock:
+            if self.registry is not None:
+                payload = self.registry.append(record)
+                record.run_id = payload["run_id"]
+            self.records.append(record)
+        return record
+
     def record_run(self, record: AuditRecord) -> AuditRecord:
         """Persist one record and emit its metrics; returns the record
         with its registry-assigned ``run_id`` backfilled."""

@@ -219,6 +219,44 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._series)
 
+    # -- cross-process merge ---------------------------------------------
+    def counter_snapshot(self) -> dict:
+        """Picklable ``{name: {label_key: value}}`` view of every counter.
+
+        Forked workers take a snapshot after fork, diff against it after
+        each task (:func:`counter_delta`) and ship the delta back with
+        the result; the parent folds it in via
+        :meth:`merge_counter_deltas`, keeping one coherent registry
+        across process boundaries.
+        """
+        with self._register_lock:
+            return {
+                name: {
+                    key: instrument.value
+                    for key, instrument in entry["series"].items()
+                }
+                for name, entry in self._series.items()
+                if entry["kind"] == "counter"
+            }
+
+    @staticmethod
+    def counter_delta(current: dict, baseline: dict) -> dict:
+        """Per-series increments between two :meth:`counter_snapshot` calls."""
+        delta: dict = {}
+        for name, series in current.items():
+            base_series = baseline.get(name, {})
+            for key, value in series.items():
+                change = value - base_series.get(key, 0.0)
+                if change:
+                    delta.setdefault(name, {})[key] = change
+        return delta
+
+    def merge_counter_deltas(self, delta: dict) -> None:
+        """Fold worker-side counter increments into this registry."""
+        for name, series in delta.items():
+            for key, change in series.items():
+                self.counter(name, **dict(key)).inc(change)
+
     # -- export ----------------------------------------------------------
     def to_json(self) -> dict:
         """JSON-serializable snapshot of every series."""
@@ -339,6 +377,16 @@ class NullMetrics:
 
     def names(self) -> list:
         return []
+
+    def counter_snapshot(self) -> dict:
+        return {}
+
+    @staticmethod
+    def counter_delta(current: dict, baseline: dict) -> dict:
+        return {}
+
+    def merge_counter_deltas(self, delta: dict) -> None:
+        return None
 
     def to_json(self) -> dict:
         return {"metrics": []}

@@ -10,8 +10,9 @@ Guarantees:
 * **order preservation** — :func:`parallel_map` returns results in the
   order of its inputs regardless of completion order, so parallel and
   serial execution produce identical assembled arrays;
-* **fail-fast** — the first task exception propagates to the caller
-  (remaining tasks are drained, never silently dropped);
+* **fail-fast** — the first task exception propagates to the caller,
+  and not-yet-started pending tasks are cancelled instead of running to
+  completion (no wasted work, no delayed error surfacing);
 * **observability** — each task runs under a ``pool.task`` trace span
   carrying the pool label, item index and worker-thread name (the tracer
   keeps a thread-local span stack, so worker spans become per-task
@@ -25,7 +26,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Iterable
 
 from ..obs import get_metrics, get_tracer
@@ -60,6 +61,35 @@ def _run_task(fn: Callable, item, index: int, label: str):
     return result, time.perf_counter() - start
 
 
+def _collect_fail_fast(futures: list, label: str = "pool") -> list:
+    """Gather future results in submit order, cancelling on first failure.
+
+    Blocks until the first exception (or until everything finishes); on
+    failure, not-yet-started futures are cancelled so queued work never
+    runs, already-running tasks are awaited (the pool must be quiescent
+    before the caller tears it down), and the earliest-submitted failure
+    re-raises.
+    """
+    __, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    if not any(
+        future.done() and not future.cancelled() and future.exception() is not None
+        for future in futures
+    ):
+        return [future.result() for future in futures]
+    cancelled = sum(future.cancel() for future in not_done)
+    wait(not_done)  # quiesce: in-flight tasks may still finish or fail
+    if cancelled:
+        get_metrics().counter(
+            "pool_tasks_cancelled_total", pool=label
+        ).inc(cancelled)
+    failed = next(
+        future
+        for future in futures
+        if future.done() and not future.cancelled() and future.exception() is not None
+    )
+    raise failed.exception()
+
+
 def parallel_map(
     fn: Callable,
     items: Iterable,
@@ -83,9 +113,10 @@ def parallel_map(
             pool.submit(_run_task, fn, item, index, label)
             for index, item in enumerate(items)
         ]
-        # Collect in submit order: result order matches input order, and
-        # the first failure raises here (after the pool drains).
-        outcomes = [future.result() for future in futures]
+        # Collect in submit order: result order matches input order, the
+        # first failure raises, and queued-but-unstarted tasks are
+        # cancelled rather than run to completion.
+        outcomes = _collect_fail_fast(futures, label)
     wall = time.perf_counter() - wall_start
 
     busy = 0.0
@@ -137,11 +168,14 @@ class WorkerPool:
         )
 
     def drain(self) -> None:
-        """Wait for all submitted work; re-raise the first task failure."""
+        """Wait for all submitted work; re-raise the first task failure.
+
+        On failure, queued-but-unstarted submissions are cancelled (the
+        error surfaces immediately; no wasted work behind it)."""
         if self._executor is None:
             return
         try:
-            outcomes = [future.result() for future in self._futures]
+            outcomes = _collect_fail_fast(self._futures, self.label)
         finally:
             self._futures = []
         metrics = get_metrics()

@@ -11,17 +11,27 @@ subsystem makes the pipeline's error contract *enforceable at runtime*:
 * :mod:`~repro.resilience.policy` — graceful-degradation policies
   (``raise`` / ``recompress-from-source`` / ``fallback-lossless``)
   shared by :class:`~repro.io.store.DatasetStore` and
-  :class:`~repro.core.pipeline.InferencePipeline`.
+  :class:`~repro.core.pipeline.InferencePipeline`;
+* :mod:`~repro.resilience.retry` — bounded exponential backoff with
+  deterministic jitter (:class:`RetryPolicy`, :func:`retry_call`);
+* :mod:`~repro.resilience.supervisor` — fault-tolerant process-based
+  worker pool (heartbeats, deadlines, respawn, quarantine, circuit
+  breaker) powering ``InferencePipeline.execute_chunked``.
 """
 
 from .guards import check_contract, screen_finite
 from .inject import (
+    CHAOS_ENV_VAR,
+    ChaosError,
+    ChaosInjector,
+    ChaosRule,
     FaultInjector,
     blob_corruptions,
     corrupt_file,
     corrupt_header_byte,
     corrupt_magic,
     corrupt_payload_byte,
+    corrupt_result,
     corrupt_version,
     flip_bit,
     poison_inf,
@@ -35,12 +45,32 @@ from .policy import (
     record_retry,
     resolve_policy,
 )
+from .retry import RetryPolicy, retry_call
+from .supervisor import (
+    CircuitBreaker,
+    SupervisedPool,
+    SupervisionReport,
+    TaskOutcome,
+    fork_available,
+)
 
 __all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosRule",
+    "CircuitBreaker",
     "CorruptionPolicy",
+    "RetryPolicy",
+    "SupervisedPool",
+    "SupervisionReport",
+    "TaskOutcome",
+    "corrupt_result",
+    "fork_available",
     "record_audit_violation",
     "record_recovery",
     "record_retry",
+    "retry_call",
     "FaultInjector",
     "blob_corruptions",
     "check_contract",

@@ -17,9 +17,13 @@ source).
 
 from __future__ import annotations
 
+import copy
 import os
+import signal
 import struct
 import tempfile
+import time
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 import numpy as np
@@ -37,7 +41,12 @@ __all__ = [
     "poison_inf",
     "corrupt_file",
     "blob_corruptions",
+    "corrupt_result",
+    "ChaosError",
+    "ChaosRule",
+    "ChaosInjector",
     "FaultInjector",
+    "CHAOS_ENV_VAR",
 ]
 
 # v2 prelude: 4 magic + 2 version + 4 header_len + 4 crc32
@@ -162,6 +171,184 @@ def blob_corruptions(
         yield "payload-bitflip", corrupt_payload_byte(data, offset=(len(data) - end) // 2)
     for length in range(0, len(data), truncation_step):
         yield f"truncate-{length}", truncate(data, length)
+
+
+# -- process/worker-level chaos ---------------------------------------------
+
+#: environment variable the CLI/CI reads a chaos spec from
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+_CHAOS_ACTIONS = ("kill", "hang", "slow", "raise", "corrupt")
+
+#: default stall for ``hang`` rules — far past any sane task deadline
+_HANG_SECONDS = 3600.0
+
+
+class ChaosError(RuntimeError):
+    """Failure raised by a ``raise`` chaos rule.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: injected
+    faults must look like the arbitrary worker crashes they simulate,
+    not like typed library failures.
+    """
+
+
+def corrupt_result(result, fraction: float = 0.05, seed: int = 0):
+    """Deterministically poison the array content of a task result.
+
+    Simulates a worker that computed garbage (bad RAM, a torn
+    shared-memory read) but returned *something*: every ``np.ndarray``
+    reachable one level deep — the object itself, elements of a
+    list/tuple, or an ``outputs`` attribute (the
+    :class:`~repro.core.pipeline.PipelineResult` convention) — is
+    replaced by a NaN-poisoned copy.  The original object is never
+    mutated, matching the copy semantics of the other array injectors.
+    """
+    if isinstance(result, np.ndarray):
+        return poison_nan(result, fraction=fraction, seed=seed)
+    if isinstance(result, (list, tuple)):
+        items = [corrupt_result(item, fraction, seed) for item in result]
+        return type(result)(items)
+    if hasattr(result, "outputs") and isinstance(result.outputs, np.ndarray):
+        corrupted = copy.copy(result)
+        corrupted.outputs = poison_nan(result.outputs, fraction=fraction, seed=seed)
+        return corrupted
+    return result
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One parsed chaos directive: what to do, to which task, how often.
+
+    ``task=None`` matches every task; ``attempts=None`` matches every
+    attempt, otherwise the rule fires only while ``attempt < attempts``
+    (so the default ``attempts=1`` injects once and lets the retry
+    succeed — the recoverable-fault shape).
+    """
+
+    action: str
+    task: "int | None" = None
+    attempts: "int | None" = 1
+    param: float = 0.0
+
+    def matches(self, task_id: int, attempt: int) -> bool:
+        if self.task is not None and task_id != self.task:
+            return False
+        return self.attempts is None or attempt < self.attempts
+
+
+class ChaosInjector:
+    """Worker-side fault injector driven by a compact rule spec.
+
+    Spec grammar (comma-separated rules)::
+
+        action@task[:attempts][=param]
+
+    * ``action`` — ``kill`` (SIGKILL own process), ``hang`` (sleep
+      ``param`` seconds, default far past any deadline), ``slow``
+      (sleep ``param`` seconds, default 0.1), ``raise`` (raise
+      :class:`ChaosError`), ``corrupt`` (NaN-poison the task result);
+    * ``task`` — a task index, or ``*`` for every task;
+    * ``attempts`` — how many attempts the rule fires on: an integer
+      (default 1 = first attempt only) or ``all`` (every attempt — the
+      poison-chunk shape that exhausts a retry budget);
+    * ``param`` — seconds for ``hang``/``slow``.
+
+    Examples: ``kill@2`` (worker running task 2 dies once),
+    ``hang@1=5`` (task 1 stalls 5 s on its first attempt),
+    ``kill@3:all`` (task 3 is a poison pill), ``slow@*=0.2`` (every
+    task dawdles).  The spec travels through :data:`CHAOS_ENV_VAR` so
+    CI chaos jobs can inject faults through the unmodified CLI.
+    """
+
+    def __init__(self, rules: "list[ChaosRule] | None" = None) -> None:
+        self.rules = list(rules or [])
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosInjector":
+        rules = []
+        for raw in spec.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            rules.append(cls._parse_rule(raw))
+        return cls(rules)
+
+    @classmethod
+    def from_env(cls) -> "ChaosInjector | None":
+        """Injector from :data:`CHAOS_ENV_VAR`, or ``None`` if unset."""
+        spec = os.environ.get(CHAOS_ENV_VAR, "").strip()
+        return cls.from_spec(spec) if spec else None
+
+    @staticmethod
+    def _parse_rule(raw: str) -> ChaosRule:
+        if "@" not in raw:
+            raise ConfigurationError(
+                f"chaos rule {raw!r} must look like action@task[:attempts][=param]"
+            )
+        action, __, rest = raw.partition("@")
+        action = action.strip().lower()
+        if action not in _CHAOS_ACTIONS:
+            raise ConfigurationError(
+                f"unknown chaos action {action!r}; known: {', '.join(_CHAOS_ACTIONS)}"
+            )
+        rest, __, param_text = rest.partition("=")
+        target, __, attempts_text = rest.partition(":")
+        target = target.strip()
+        try:
+            task = None if target == "*" else int(target)
+        except ValueError:
+            raise ConfigurationError(
+                f"chaos rule {raw!r}: task must be an index or '*'"
+            ) from None
+        attempts_text = attempts_text.strip().lower()
+        if not attempts_text:
+            attempts: "int | None" = 1
+        elif attempts_text == "all":
+            attempts = None
+        else:
+            try:
+                attempts = int(attempts_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"chaos rule {raw!r}: attempts must be an integer or 'all'"
+                ) from None
+            if attempts < 1:
+                raise ConfigurationError(
+                    f"chaos rule {raw!r}: attempts must be >= 1"
+                )
+        if param_text:
+            try:
+                param = float(param_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"chaos rule {raw!r}: param must be a number"
+                ) from None
+        else:
+            param = _HANG_SECONDS if action == "hang" else 0.1
+        return ChaosRule(action=action, task=task, attempts=attempts, param=param)
+
+    def _active(self, task_id: int, attempt: int) -> "list[ChaosRule]":
+        return [rule for rule in self.rules if rule.matches(task_id, attempt)]
+
+    def before_task(self, task_id: int, attempt: int) -> None:
+        """Fire pre-execution rules (kill/hang/slow/raise) for this attempt."""
+        for rule in self._active(task_id, attempt):
+            if rule.action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif rule.action in ("hang", "slow"):
+                time.sleep(rule.param)
+            elif rule.action == "raise":
+                raise ChaosError(
+                    f"injected failure for task {task_id} attempt {attempt}"
+                )
+
+    def after_task(self, task_id: int, attempt: int, result):
+        """Apply result-corruption rules; returns the (possibly new) result."""
+        for rule in self._active(task_id, attempt):
+            if rule.action == "corrupt":
+                result = corrupt_result(result, seed=task_id)
+        return result
 
 
 class FaultInjector:

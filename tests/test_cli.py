@@ -335,3 +335,42 @@ def test_metrics_flush_survives_trace_export_failure(tmp_path, capsys, monkeypat
     capsys.readouterr()
     assert metrics_path.exists()  # later exports ran despite the failure
     assert get_tracer() is NULL_TRACER
+
+
+# -- chunked-flag validation ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("flags", "fragment"),
+    [
+        (["--workers", "0"], "--workers must be a positive integer"),
+        (["--workers", "-2"], "--workers must be a positive integer"),
+        (["--chunk-size", "-3"], "--chunk-size must be a positive integer"),
+        (["--chunk-size", "0"], "--chunk-size must be a positive integer"),
+        (["--max-retries", "-1"], "--max-retries must be >= 0"),
+        (["--task-timeout", "0"], "--task-timeout must be positive"),
+        (["--resume"], "--resume requires --checkpoint"),
+    ],
+)
+def test_pipeline_rejects_bad_chunk_flags(capsys, flags, fragment):
+    assert main(["pipeline", "h2combustion", "--tolerance", "1e-2", *flags]) == 1
+    captured = capsys.readouterr()
+    assert "ConfigurationError" in captured.out + captured.err
+    assert fragment in captured.out + captured.err
+
+
+def test_pipeline_chunked_checkpoint_and_resume(tmp_path, capsys):
+    checkpoint = str(tmp_path / "ck")
+    base = [
+        "pipeline", "h2combustion", "--tolerance", "1e-2",
+        "--workers", "2", "--chunk-size", "16", "--checkpoint", checkpoint,
+    ]
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    assert "chunked run" in out and "tolerance honoured" in out
+    assert "0 replayed" in out
+    # second invocation with --resume replays every chunk
+    assert main([*base, "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "0 computed" in out
+    assert "tolerance honoured" in out

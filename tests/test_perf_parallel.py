@@ -62,6 +62,55 @@ def test_parallel_map_fail_fast():
         parallel_map(boom, range(6), workers=2)
 
 
+def test_parallel_map_cancels_pending_on_failure():
+    """Fail-fast: once a task fails, queued-but-unstarted tasks are
+    cancelled instead of being run to completion."""
+    executed = []
+    gate = threading.Event()
+
+    def task(x):
+        if x == 1:
+            raise ValueError("early failure")
+        # every non-failing task blocks until cancellation has happened,
+        # so the workers cannot race through the queue before the main
+        # thread wakes to cancel it
+        gate.wait(10.0)
+        executed.append(x)
+        return x
+
+    with obs.capture() as (_tracer, metrics):
+        def release_once_cancelled():
+            for _ in range(2000):
+                if metrics.value("pool_tasks_cancelled_total", pool="probe") > 0:
+                    break
+                time.sleep(0.005)
+            gate.set()
+
+        watcher = threading.Thread(target=release_once_cancelled, daemon=True)
+        watcher.start()
+        with pytest.raises(ValueError, match="early failure"):
+            try:
+                parallel_map(task, range(40), workers=2, label="probe")
+            finally:
+                gate.set()
+        watcher.join(5.0)
+        cancelled = metrics.value("pool_tasks_cancelled_total", pool="probe")
+    # both workers are parked on the gate after the failure, so at most
+    # tasks 0 and 2 ever start — the rest of the queue must be cancelled
+    assert cancelled >= 37
+    assert len(executed) <= 2
+
+
+def test_parallel_map_earliest_failure_wins():
+    """When several tasks fail, the earliest-submitted failure is raised."""
+    def boom(x):
+        time.sleep(0.01 * (4 - x))  # later tasks fail *sooner*
+        raise ValueError(f"task {x} failed")
+
+    with pytest.raises(ValueError, match="task 0 failed"):
+        parallel_map(boom, range(4), workers=4)
+
+
 def test_parallel_map_records_pool_metrics():
     with obs.capture() as (_tracer, metrics):
         parallel_map(lambda x: x, range(8), workers=2, label="probe")
@@ -91,6 +140,40 @@ def test_worker_pool_drain_propagates_failure():
     with pytest.raises(RuntimeError, match="chunk store failed"):
         pool.drain()
     pool.shutdown()
+
+
+def test_worker_pool_drain_cancels_pending_on_failure():
+    executed = []
+    gate = threading.Event()
+
+    def task(x):
+        if x == 1:
+            raise RuntimeError("first chunk failed")
+        gate.wait(10.0)  # park the workers until the backlog is cancelled
+        executed.append(x)
+
+    with obs.capture() as (_tracer, metrics):
+        pool = WorkerPool(workers=2, label="probe")
+        for i in range(40):
+            pool.submit(task, i)
+
+        def release_once_cancelled():
+            for _ in range(2000):
+                if metrics.value("pool_tasks_cancelled_total", pool="probe") > 0:
+                    break
+                time.sleep(0.005)
+            gate.set()
+
+        watcher = threading.Thread(target=release_once_cancelled, daemon=True)
+        watcher.start()
+        with pytest.raises(RuntimeError, match="first chunk failed"):
+            try:
+                pool.drain()
+            finally:
+                gate.set()
+        watcher.join(5.0)
+    pool.shutdown()
+    assert len(executed) <= 2  # the backlog was cancelled, not drained
 
 
 def test_worker_pool_serial_runs_inline():

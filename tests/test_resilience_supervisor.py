@@ -1,0 +1,703 @@
+"""Fault-tolerance suite: retry schedules, chaos injection, the
+supervised process pool, and checkpoint-resume.
+
+The contract under test is the robustness tentpole: a chunked run
+survives killed workers, hung tasks and poison chunks without losing
+certification, and a killed run resumes bit-identically from its
+checkpoint journal at *any* kill point.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.compress.sz import SZCompressor
+from repro.core.errorflow import ErrorFlowAnalyzer
+from repro.core.pipeline import InferencePipeline
+from repro.core.planner import TolerancePlanner
+from repro.exceptions import ConfigurationError, IntegrityError
+from repro.io import CheckpointJournal, digest_array, digest_bytes
+from repro.obs import audit_capture
+from repro.resilience import (
+    CHAOS_ENV_VAR,
+    ChaosError,
+    ChaosInjector,
+    ChaosRule,
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedPool,
+    corrupt_result,
+    fork_available,
+    retry_call,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="supervised pool requires fork"
+)
+
+#: fast schedule so pool tests never sleep for real
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.05, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Tests control chaos explicitly; the environment must not leak in."""
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+
+
+# -- RetryPolicy ------------------------------------------------------------
+
+
+def test_retry_schedule_doubles_then_saturates():
+    policy = RetryPolicy(max_retries=6, base_delay=0.1, max_delay=0.8, jitter=0.0)
+    assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8, 0.8, 0.8])
+
+
+def test_retry_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_retries=4, base_delay=0.1, max_delay=2.0, jitter=0.25, seed=3)
+    again = RetryPolicy(max_retries=4, base_delay=0.1, max_delay=2.0, jitter=0.25, seed=3)
+    for attempt in range(4):
+        delay = policy.delay(attempt)
+        assert delay == again.delay(attempt)  # pure function of (seed, attempt)
+        base = min(2.0, 0.1 * 2**attempt)
+        assert base <= delay <= base * 1.25
+
+
+def test_retry_different_seeds_decorrelate():
+    delays_a = list(RetryPolicy(jitter=0.5, seed=1).delays())
+    delays_b = list(RetryPolicy(jitter=0.5, seed=2).delays())
+    assert delays_a != delays_b
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_retries": -1},
+        {"base_delay": -0.1},
+        {"max_delay": -1.0},
+        {"jitter": -0.5},
+    ],
+)
+def test_retry_policy_rejects_bad_config(kwargs):
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**kwargs)
+
+
+def test_retry_call_recovers_from_transient_failure():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ValueError("transient")
+        return "ok"
+
+    slept = []
+    policy = RetryPolicy(max_retries=3, base_delay=0.5, jitter=0.0)
+    assert retry_call(flaky, policy, sleep=slept.append) == "ok"
+    assert len(calls) == 3
+    assert slept == [0.5, 1.0]  # exponential schedule actually consulted
+
+
+def test_retry_call_exhausts_budget_and_reraises():
+    attempts = []
+    notified = []
+
+    def always_fails():
+        attempts.append(1)
+        raise ValueError("persistent")
+
+    with pytest.raises(ValueError, match="persistent"):
+        retry_call(
+            always_fails,
+            RetryPolicy(max_retries=2, base_delay=0.0, jitter=0.0),
+            on_retry=lambda attempt, exc: notified.append(attempt),
+            sleep=lambda _: None,
+        )
+    assert len(attempts) == 3  # first try + 2 retries
+    assert notified == [0, 1]
+
+
+# -- chaos spec parsing -----------------------------------------------------
+
+
+def test_chaos_spec_grammar():
+    injector = ChaosInjector.from_spec("kill@1, raise@2:all, hang@0=5, slow@*:2=0.1")
+    assert injector.rules == [
+        ChaosRule(action="kill", task=1, attempts=1, param=0.1),
+        ChaosRule(action="raise", task=2, attempts=None, param=0.1),
+        ChaosRule(action="hang", task=0, attempts=1, param=5.0),
+        ChaosRule(action="slow", task=None, attempts=2, param=0.1),
+    ]
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["kill", "explode@1", "kill@x", "kill@1:maybe", "kill@1:0", "hang@1=soon"],
+)
+def test_chaos_spec_rejects_malformed(spec):
+    with pytest.raises(ConfigurationError):
+        ChaosInjector.from_spec(spec)
+
+
+def test_chaos_from_env(monkeypatch):
+    assert ChaosInjector.from_env() is None
+    monkeypatch.setenv(CHAOS_ENV_VAR, "raise@3")
+    injector = ChaosInjector.from_env()
+    assert injector.rules == [ChaosRule(action="raise", task=3, param=0.1)]
+
+
+def test_chaos_rule_matching_respects_attempt_budget():
+    once = ChaosRule(action="raise", task=2, attempts=1)
+    assert once.matches(2, 0) and not once.matches(2, 1)
+    assert not once.matches(3, 0)
+    forever = ChaosRule(action="raise", task=None, attempts=None)
+    assert forever.matches(0, 0) and forever.matches(7, 9)
+
+
+def test_chaos_raise_fires_only_on_matching_attempt():
+    injector = ChaosInjector.from_spec("raise@4")
+    with pytest.raises(ChaosError):
+        injector.before_task(4, 0)
+    injector.before_task(4, 1)  # retry attempt passes clean
+    injector.before_task(5, 0)  # other tasks untouched
+
+
+def test_corrupt_result_poisons_arrays_not_originals():
+    original = np.ones((8, 8), dtype=np.float32)
+    injector = ChaosInjector.from_spec("corrupt@0")
+    poisoned = injector.after_task(0, 0, original)
+    assert np.isnan(poisoned).any()
+    assert not np.isnan(original).any()  # copy semantics
+    assert injector.after_task(1, 0, original) is original  # non-matching task
+
+
+def test_corrupt_result_reaches_outputs_attribute():
+    class Boxed:
+        def __init__(self):
+            self.outputs = np.ones(16, dtype=np.float32)
+
+    box = Boxed()
+    poisoned = corrupt_result(box, fraction=0.2)
+    assert np.isnan(poisoned.outputs).any()
+    assert not np.isnan(box.outputs).any()
+
+
+# -- CircuitBreaker ---------------------------------------------------------
+
+
+def test_circuit_breaker_trips_at_threshold():
+    breaker = CircuitBreaker(threshold=3)
+    assert not breaker.record_fault("a") and not breaker.record_fault("b")
+    assert breaker.record_fault("c")  # this one tripped it
+    assert breaker.tripped and breaker.reason == "c"
+    assert not breaker.record_fault("d")  # already tripped; not "the" trip
+
+
+def test_circuit_breaker_rejects_silly_threshold():
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(threshold=0)
+
+
+# -- SupervisedPool ---------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def test_pool_happy_path_ordered_results():
+    pool = SupervisedPool(_square, workers=2, retry=FAST_RETRY)
+    report = pool.run(list(range(10)))
+    assert report.results() == [x * x for x in range(10)]
+    assert report.executor == "process"
+    assert report.retries == 0 and report.respawns == 0
+    assert report.quarantined == [] and not report.breaker_tripped
+
+
+def test_pool_inline_when_single_worker():
+    pool = SupervisedPool(_square, workers=1, retry=FAST_RETRY)
+    report = pool.run([1, 2, 3])
+    assert report.results() == [1, 4, 9]
+    assert report.executor == "inline"
+
+
+def test_pool_empty_payloads():
+    report = SupervisedPool(_square, workers=2, retry=FAST_RETRY).run([])
+    assert report.results() == [] and report.outcomes == {}
+
+
+def test_pool_respawns_after_worker_kill():
+    chaos = ChaosInjector.from_spec("kill@1")
+    with obs.capture() as (_, metrics):
+        pool = SupervisedPool(_square, workers=2, retry=FAST_RETRY, chaos=chaos)
+        report = pool.run(list(range(6)))
+        snapshot = metrics.counter_snapshot()
+    assert report.results() == [x * x for x in range(6)]
+    assert report.respawns == 1
+    assert report.retries == 1
+    assert report.outcomes[1].attempts == 2
+    assert snapshot["worker_restarts_total"][(("pool", "supervised"),)] == 1
+    assert snapshot["chunk_retries_total"][(("pool", "supervised"),)] == 1
+
+
+def test_pool_retries_transient_exception():
+    chaos = ChaosInjector.from_spec("raise@0")
+    report = SupervisedPool(_square, workers=2, retry=FAST_RETRY, chaos=chaos).run(
+        [3, 4]
+    )
+    assert report.results() == [9, 16]
+    assert report.retries == 1 and report.respawns == 0  # no process died
+
+
+def test_pool_quarantines_poison_task():
+    chaos = ChaosInjector.from_spec("raise@2:all")  # fails on every attempt
+    with obs.capture() as (_, metrics):
+        pool = SupervisedPool(_square, workers=2, retry=FAST_RETRY, chaos=chaos)
+        report = pool.run(list(range(5)))
+        snapshot = metrics.counter_snapshot()
+    assert report.quarantined == [2]
+    outcome = report.outcomes[2]
+    assert outcome.quarantined and outcome.result is None
+    assert "injected failure" in outcome.error
+    assert outcome.attempts == FAST_RETRY.max_retries + 1
+    assert report.results() == [0, 1, None, 9, 16]
+    assert snapshot["chunk_retries_total"][(("pool", "supervised"),)] == 2
+
+
+def test_pool_deadline_kills_hung_worker():
+    chaos = ChaosInjector.from_spec("hang@0=60")
+    pool = SupervisedPool(
+        _square, workers=2, retry=FAST_RETRY, chaos=chaos, task_timeout=0.5
+    )
+    report = pool.run([5, 6])
+    assert report.results() == [25, 36]
+    assert report.respawns == 1  # the hung worker was killed and replaced
+    assert report.outcomes[0].attempts == 2
+
+
+def test_pool_circuit_breaker_degrades_to_inline():
+    chaos = ChaosInjector.from_spec("kill@*:all")  # every worker dies, always
+    with obs.capture() as (_, metrics):
+        pool = SupervisedPool(
+            _square, workers=2, retry=RetryPolicy(max_retries=20, base_delay=0.0, jitter=0.0),
+            chaos=chaos, breaker_threshold=3,
+        )
+        report = pool.run(list(range(8)))
+        snapshot = metrics.counter_snapshot()
+    assert report.breaker_tripped
+    # chaos models *worker* faults and is never applied inline, so the
+    # degraded serial pass completes every task
+    assert report.results() == [x * x for x in range(8)]
+    # both workers can die in the same liveness sweep, so the trip can
+    # land one respawn past the threshold
+    assert report.respawns >= 3
+    assert snapshot["circuit_breaker_trips_total"][(("pool", "supervised"),)] == 1
+    assert all(outcome.inline for outcome in report.outcomes.values() if outcome.attempts)
+
+
+def test_pool_validate_rejects_corrupt_result_then_retry_succeeds():
+    chaos = ChaosInjector.from_spec("corrupt@1")  # first attempt only
+
+    def make_field(x):
+        return np.full(32, float(x), dtype=np.float32)
+
+    def validate(task_id, result):
+        if np.isnan(result).any():
+            raise IntegrityError(f"NaN in task {task_id} result")
+
+    pool = SupervisedPool(
+        make_field, workers=2, retry=FAST_RETRY, chaos=chaos, validate=validate
+    )
+    report = pool.run([0, 1, 2])
+    assert report.retries == 1 and report.quarantined == []
+    assert report.outcomes[1].attempts == 2
+    for task_id, outcome in report.outcomes.items():
+        assert not np.isnan(outcome.result).any()
+        assert outcome.result[0] == float(task_id)
+
+
+def test_pool_on_result_fires_once_per_success():
+    seen = []
+    chaos = ChaosInjector.from_spec("raise@1,raise@3:all")
+    pool = SupervisedPool(_square, workers=2, retry=FAST_RETRY, chaos=chaos)
+    pool.run(list(range(5)), on_result=lambda tid, res, out: seen.append((tid, res)))
+    assert sorted(seen) == [(0, 0), (1, 1), (2, 4), (4, 16)]  # 3 quarantined
+
+
+def test_pool_merges_worker_counter_deltas():
+    def counting_task(x):
+        obs.get_metrics().counter("supervised_test_work_total").inc()
+        return x
+
+    with obs.capture() as (_, metrics):
+        SupervisedPool(counting_task, workers=2, retry=FAST_RETRY).run(list(range(7)))
+        snapshot = metrics.counter_snapshot()
+    # increments happened in forked children; deltas rode back with results
+    assert snapshot["supervised_test_work_total"][()] == 7
+
+
+def test_pool_rejects_nonpositive_timeout():
+    with pytest.raises(ConfigurationError):
+        SupervisedPool(_square, workers=2, task_timeout=0.0)
+
+
+# -- pipeline integration ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chunked_setup(trained_spectral_mlp):
+    x = np.linspace(0, 2 * np.pi, 32)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+    planner = TolerancePlanner(ErrorFlowAnalyzer(trained_spectral_mlp))
+    plan = planner.plan(1e-2, norm="linf", quant_fraction=0.5)
+    pipeline = InferencePipeline(trained_spectral_mlp, SZCompressor(), plan)
+    serial = pipeline.execute_chunked(fields, chunk_size=8, chunk_axis=1, workers=1)
+    return pipeline, fields, serial
+
+
+def _chunked(pipeline, fields, **kwargs):
+    return pipeline.execute_chunked(fields, chunk_size=8, chunk_axis=1, **kwargs)
+
+
+def test_pipeline_survives_sigkill_and_hang(chunked_setup):
+    """The acceptance scenario: a killed worker and a hung task, and the
+    assembled result is still bit-identical to the serial run."""
+    pipeline, fields, serial = chunked_setup
+    chaos = ChaosInjector.from_spec("kill@1,hang@2=30")
+    result = _chunked(
+        pipeline, fields, workers=2, executor="process", chaos=chaos,
+        task_timeout=3.0,
+    )
+    assert np.array_equal(result.outputs, serial.outputs)
+    assert np.array_equal(result.reference_outputs, serial.reference_outputs)
+    supervision = result.extra["supervision"]
+    assert supervision["respawns"] == 2  # one SIGKILL, one deadline kill
+    assert supervision["retries"] == 2
+    assert supervision["quarantined"] == []
+    # no loss of certification
+    assert result.qoi_error("linf", relative=False) <= pipeline.plan.qoi_tolerance
+
+
+def test_pipeline_quarantine_degrades_to_lossless(chunked_setup):
+    pipeline, fields, serial = chunked_setup
+    chaos = ChaosInjector.from_spec("raise@1:all")  # chunk 1 is a poison pill
+    result = _chunked(
+        pipeline, fields, workers=2, executor="process", chaos=chaos,
+        max_task_retries=1,
+    )
+    supervision = result.extra["supervision"]
+    assert supervision["quarantined"] == [1]
+    assert supervision["degraded_chunks"] == [1]
+    assert result.extra["integrity"]["degraded"]
+    # the quarantined chunk re-ran losslessly in the parent: outputs are
+    # finite, complete, and the tolerance still holds
+    assert result.outputs.shape == serial.outputs.shape
+    assert np.isfinite(result.outputs).all()
+    assert result.qoi_error("linf", relative=False) <= pipeline.plan.qoi_tolerance
+    # untouched chunks match the serial run exactly
+    rows_per_chunk = serial.outputs.shape[0] // 4
+    assert np.array_equal(
+        result.outputs[:rows_per_chunk], serial.outputs[:rows_per_chunk]
+    )
+
+
+def test_pipeline_chaos_requires_process_executor(chunked_setup):
+    pipeline, fields, _ = chunked_setup
+    with pytest.raises(ConfigurationError, match="process executor"):
+        _chunked(
+            pipeline, fields, workers=1, chaos=ChaosInjector.from_spec("raise@0")
+        )
+
+
+def test_pipeline_audit_adopted_across_faults(chunked_setup, tmp_path):
+    pipeline, fields, _ = chunked_setup
+    chaos = ChaosInjector.from_spec("kill@1")
+    with audit_capture(registry=str(tmp_path / "runs.jsonl")) as auditor:
+        _chunked(
+            pipeline, fields, workers=2, executor="process", chaos=chaos
+        )
+        records = list(auditor.records)
+    assert len(records) == 4  # one per chunk, despite the kill/retry
+    assert sorted(record.run_id for record in records) == [
+        f"run-{i:04d}" for i in range(1, 5)
+    ]
+
+
+# -- checkpoint / resume ----------------------------------------------------
+
+
+def test_checkpoint_journal_roundtrip(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck"))
+    data = np.arange(12, dtype=np.float32).reshape(3, 4)
+    manifest = {"fingerprint": {"plan": "p"}, "chunk_digests": [digest_array(data)]}
+    assert journal.begin(manifest) == {}
+    entry = journal.record(
+        0, outputs=data, reference_outputs=data + 1, blob_bytes=b"blob-bytes",
+        entry={"input_digest": digest_array(data)},
+    )
+    payload = journal.load(entry)
+    assert np.array_equal(payload["outputs"], data)
+    assert np.array_equal(payload["reference_outputs"], data + 1)
+    assert payload["blob_bytes"] == b"blob-bytes"
+    # resume sees the completed chunk
+    completed = journal.begin(manifest, resume=True)
+    assert set(completed) == {0}
+
+
+def test_checkpoint_rejects_fingerprint_mismatch(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck"))
+    data = np.zeros(4, dtype=np.float32)
+    journal.begin({"fingerprint": {"plan": "a"}, "chunk_digests": [digest_array(data)]})
+    with pytest.raises(IntegrityError, match="different run"):
+        CheckpointJournal(str(tmp_path / "ck")).begin(
+            {"fingerprint": {"plan": "b"}, "chunk_digests": [digest_array(data)]},
+            resume=True,
+        )
+
+
+def test_checkpoint_rejects_changed_inputs(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck"))
+    data = np.zeros(4, dtype=np.float32)
+    journal.begin({"fingerprint": {"plan": "a"}, "chunk_digests": [digest_array(data)]})
+    with pytest.raises(IntegrityError, match="data changed"):
+        CheckpointJournal(str(tmp_path / "ck")).begin(
+            {
+                "fingerprint": {"plan": "a"},
+                "chunk_digests": [digest_array(data + 1)],
+            },
+            resume=True,
+        )
+
+
+def test_checkpoint_drops_tampered_artifact(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck"))
+    data = np.arange(8, dtype=np.float32)
+    manifest = {"fingerprint": {}, "chunk_digests": [digest_array(data)]}
+    journal.begin(manifest)
+    entry = journal.record(
+        0, outputs=data, reference_outputs=data, blob_bytes=b"x",
+        entry={"input_digest": digest_array(data)},
+    )
+    artifact = tmp_path / "ck" / entry["artifact"]
+    blob = bytearray(artifact.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    artifact.write_bytes(bytes(blob))
+    # the tampered entry is silently dropped: the chunk gets recomputed
+    assert CheckpointJournal(str(tmp_path / "ck")).begin(manifest, resume=True) == {}
+
+
+def test_pipeline_resume_skips_completed_chunks(chunked_setup, tmp_path):
+    pipeline, fields, serial = chunked_setup
+    ck = str(tmp_path / "ck")
+    full = _chunked(pipeline, fields, workers=1, checkpoint=ck)
+    assert full.extra["checkpoint"]["computed_chunks"] == 4
+    # simulate a crash after two chunks: keep only the first 2 journal lines
+    journal_path = os.path.join(ck, "journal.jsonl")
+    with open(journal_path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    assert len(lines) == 4
+    with open(journal_path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:2])
+    resumed = _chunked(pipeline, fields, workers=1, checkpoint=ck, resume=True)
+    assert resumed.extra["checkpoint"]["replayed_chunks"] == 2
+    assert resumed.extra["checkpoint"]["computed_chunks"] == 2
+    assert np.array_equal(resumed.outputs, full.outputs)
+    assert np.array_equal(resumed.reference_outputs, full.reference_outputs)
+    assert np.array_equal(resumed.outputs, serial.outputs)
+
+
+def test_pipeline_resume_tolerates_torn_journal_tail(chunked_setup, tmp_path):
+    pipeline, fields, _ = chunked_setup
+    ck = str(tmp_path / "ck")
+    full = _chunked(pipeline, fields, workers=1, checkpoint=ck)
+    journal_path = os.path.join(ck, "journal.jsonl")
+    with open(journal_path, "ab") as handle:
+        handle.write(b'{"chunk": 3, "artifact": "chu')  # writer died mid-append
+    resumed = _chunked(pipeline, fields, workers=1, checkpoint=ck, resume=True)
+    assert resumed.extra["checkpoint"]["replayed_chunks"] == 4
+    assert np.array_equal(resumed.outputs, full.outputs)
+
+
+def test_pipeline_resume_rejects_different_plan(chunked_setup, tmp_path):
+    pipeline, fields, _ = chunked_setup
+    ck = str(tmp_path / "ck")
+    _chunked(pipeline, fields, workers=1, checkpoint=ck)
+    planner = TolerancePlanner(ErrorFlowAnalyzer(pipeline.model))
+    other_plan = planner.plan(1e-3, norm="linf", quant_fraction=0.5)
+    other = InferencePipeline(pipeline.model, SZCompressor(), other_plan)
+    with pytest.raises(IntegrityError, match="different run"):
+        _chunked(other, fields, workers=1, checkpoint=ck, resume=True)
+
+
+def test_pipeline_resume_requires_checkpoint(chunked_setup):
+    pipeline, fields, _ = chunked_setup
+    with pytest.raises(ConfigurationError, match="checkpoint"):
+        _chunked(pipeline, fields, workers=1, resume=True)
+
+
+# -- resume is bit-identical at every kill point ----------------------------
+
+
+@pytest.fixture(scope="module")
+def baseline_checkpoint(chunked_setup, tmp_path_factory):
+    """One uninterrupted checkpointed run with auditing: the oracle."""
+    pipeline, fields, _ = chunked_setup
+    ck = str(tmp_path_factory.mktemp("baseline") / "ck")
+    with audit_capture() as auditor:
+        full = _chunked(pipeline, fields, workers=1, checkpoint=ck)
+        verdicts = [record.verdict for record in auditor.records]
+    return ck, full, verdicts
+
+
+@settings(max_examples=8, deadline=None)
+@given(kill_point=st.integers(min_value=0, max_value=4), torn=st.booleans())
+def test_resume_bit_identical_across_kill_points(
+    chunked_setup, baseline_checkpoint, kill_point, torn
+):
+    """Property: for every prefix of the journal (any kill point, with or
+    without a torn trailing line) the resumed run reproduces the
+    uninterrupted run bit-for-bit — same outputs, same per-chunk audit
+    verdicts."""
+    pipeline, fields, _ = chunked_setup
+    baseline_ck, full, full_verdicts = baseline_checkpoint
+    with tempfile.TemporaryDirectory() as scratch:
+        ck = os.path.join(scratch, "ck")
+        shutil.copytree(baseline_ck, ck)
+        journal_path = os.path.join(ck, "journal.jsonl")
+        with open(journal_path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(journal_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:kill_point])
+            if torn:
+                handle.write('{"chunk": 9, "artifact": "chunk')  # mid-append kill
+        with audit_capture() as auditor:
+            resumed = _chunked(pipeline, fields, workers=1, checkpoint=ck, resume=True)
+            verdicts = [record.verdict for record in auditor.records]
+    assert resumed.extra["checkpoint"]["replayed_chunks"] == kill_point
+    assert np.array_equal(resumed.outputs, full.outputs)
+    assert np.array_equal(resumed.reference_outputs, full.reference_outputs)
+    assert verdicts == full_verdicts  # same per-chunk audit decisions
+
+
+# -- hard-kill end-to-end: a really killed process resumes ------------------
+
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    import json, os, signal, sys, threading, time
+
+    import numpy as np
+
+    from repro.compress.sz import SZCompressor
+    from repro.core.errorflow import ErrorFlowAnalyzer
+    from repro.core.pipeline import InferencePipeline
+    from repro.core.planner import TolerancePlanner
+    from repro.nn import Identity, SpectralLinear, Sequential, Tanh
+
+    mode, checkpoint, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    rng = np.random.default_rng(3)
+    model = Sequential(
+        SpectralLinear(5, 16, rng=rng, alpha_init=1.2), Tanh(),
+        SpectralLinear(16, 3, rng=rng, alpha_init=1.2), Identity(),
+    )
+    model.eval()
+    x = np.linspace(0, 2 * np.pi, 48)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+    plan = TolerancePlanner(ErrorFlowAnalyzer(model)).plan(
+        1e-2, norm="linf", quant_fraction=0.5
+    )
+    pipeline = InferencePipeline(model, SZCompressor(), plan)
+
+    if mode == "killed":
+        journal = os.path.join(checkpoint, "journal.jsonl")
+
+        def assassin():
+            while True:
+                try:
+                    with open(journal, "rb") as handle:
+                        complete = handle.read().count(b"\\n")
+                except OSError:
+                    complete = 0
+                if complete >= 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                time.sleep(0.001)
+
+        threading.Thread(target=assassin, daemon=True).start()
+
+    result = pipeline.execute_chunked(
+        fields, chunk_size=8, chunk_axis=1, workers=1,
+        checkpoint=checkpoint, resume=(mode == "resume"),
+    )
+    if mode == "killed":
+        time.sleep(10)  # the assassin always wins; we never reach save
+    np.save(out_path, result.outputs)
+    with open(out_path + ".meta.json", "w") as handle:
+        json.dump(result.extra["checkpoint"], handle)
+    """
+)
+
+
+@pytest.mark.integration
+def test_hard_killed_run_resumes_bit_identically(tmp_path):
+    """End-to-end: SIGKILL a real checkpointed process mid-run, resume it
+    in a fresh process, and get the uninterrupted run's bytes."""
+    script = tmp_path / "killable.py"
+    script.write_text(_KILL_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+    env.pop(CHAOS_ENV_VAR, None)
+
+    def run(mode, checkpoint, out):
+        return subprocess.run(
+            [sys.executable, str(script), mode, checkpoint, out],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+
+    full = run("full", str(tmp_path / "ck_full"), str(tmp_path / "full.npy"))
+    assert full.returncode == 0, full.stderr
+
+    killed = run("killed", str(tmp_path / "ck"), str(tmp_path / "dead.npy"))
+    assert killed.returncode == -signal.SIGKILL  # actually died mid-run
+    assert not (tmp_path / "dead.npy").exists()
+    journal = tmp_path / "ck" / "journal.jsonl"
+    assert journal.exists()  # partial progress was durably journaled
+
+    resumed = run("resume", str(tmp_path / "ck"), str(tmp_path / "resumed.npy"))
+    assert resumed.returncode == 0, resumed.stderr
+    meta = (tmp_path / "resumed.npy.meta.json").read_text()
+    assert '"resumed": true' in meta
+    assert np.array_equal(
+        np.load(tmp_path / "resumed.npy"), np.load(tmp_path / "full.npy")
+    )
+
+
+# -- digest helpers ---------------------------------------------------------
+
+
+def test_digest_array_distinguishes_views():
+    data = np.arange(6, dtype=np.float32)
+    assert digest_array(data) != digest_array(data.reshape(2, 3))
+    assert digest_array(data) != digest_array(data.astype(np.float64))
+    assert digest_array(data) == digest_array(data.copy())
+
+
+def test_digest_bytes_is_stable():
+    assert digest_bytes(b"abc") == digest_bytes(b"abc")
+    assert digest_bytes(b"abc") != digest_bytes(b"abd")
