@@ -244,6 +244,96 @@ def bench_pipeline_checkpoint(side: int, workers: int, reps: int) -> list[dict]:
     return rows
 
 
+def bench_pipeline_distributed(side: int, reps: int) -> list[dict]:
+    """Loopback coordinator + 2 in-thread worker agents vs serial.
+
+    Measures the wire-protocol tax (framing, base64 artifacts, journal
+    merge) with inline single-process pools on both workers, so the
+    number is pure distribution overhead, not fork/IPC cost."""
+    import threading
+
+    from repro.distrib import DistribConfig, ShardWorker
+    from repro.resilience import RetryPolicy
+
+    pipeline, fields, chunk_size = _chunked_pipeline_setup(side, 2)
+    mb = fields.nbytes / 1e6
+
+    serial_seconds = _best_of(
+        lambda: pipeline.execute_chunked(
+            fields, chunk_size=chunk_size, chunk_axis=1, workers=1
+        ),
+        reps,
+    )
+
+    def one_run():
+        threads = []
+
+        def launch(coordinator):
+            host, port = coordinator.address
+
+            def run_one(index):
+                ShardWorker(
+                    pipeline,
+                    fields,
+                    chunk_size,
+                    chunk_axis=1,
+                    name=f"bench-w{index}",
+                    workers=1,
+                    connect_retry=RetryPolicy(
+                        max_retries=6, base_delay=0.02, max_delay=0.2, jitter=0.0
+                    ),
+                ).run(host, port)
+
+            for index in range(2):
+                thread = threading.Thread(
+                    target=run_one, args=(index,), daemon=True
+                )
+                threads.append(thread)
+                thread.start()
+
+        pipeline.execute_chunked(
+            fields,
+            chunk_size=chunk_size,
+            chunk_axis=1,
+            executor="distributed",
+            distrib=DistribConfig(
+                port=0, lease_ttl=5.0, worker_wait=15.0,
+                expect_workers=2, on_start=launch,
+            ),
+        )
+        for thread in threads:
+            thread.join(timeout=15.0)
+
+    distributed_seconds = _best_of(one_run, reps)
+    rows = [
+        {
+            "path": "pipeline_distributed",
+            "config": {
+                "executor": executor,
+                "workers": workers,
+                "chunk_size": chunk_size,
+                "field_shape": list(fields.shape),
+                "reps": reps,
+                "speedup_vs_serial": serial_seconds / seconds,
+                "overhead_vs_serial": seconds / serial_seconds - 1.0,
+            },
+            "seconds": seconds,
+            "throughput_mb_s": mb / seconds,
+        }
+        for executor, workers, seconds in (
+            ("serial", 1, serial_seconds),
+            ("distributed", 2, distributed_seconds),
+        )
+    ]
+    overhead = distributed_seconds / serial_seconds - 1.0
+    print(
+        f"pipeline_distributed: serial {serial_seconds*1e3:.1f} ms, "
+        f"loopback 2-worker {distributed_seconds*1e3:.1f} ms "
+        f"-> {overhead*100:.1f}% overhead"
+    )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -261,6 +351,7 @@ def main(argv=None) -> int:
     rows += bench_bound_eval(reps)
     rows += bench_pipeline_chunked(side, args.workers, reps)
     rows += bench_pipeline_checkpoint(side, args.workers, reps)
+    rows += bench_pipeline_distributed(side, reps)
     for row in rows:
         row["config"]["cpu_count"] = os.cpu_count()
         row["config"]["quick"] = args.quick

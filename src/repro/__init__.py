@@ -21,7 +21,20 @@ Quick start::
     assert result.qoi_error("linf", relative=False) <= 1e-3
 """
 
-from . import compress, core, datasets, io, models, nn, obs, perf, physics, quant, resilience
+from . import (
+    compress,
+    core,
+    datasets,
+    distrib,
+    io,
+    models,
+    nn,
+    obs,
+    perf,
+    physics,
+    quant,
+    resilience,
+)
 from .core import (
     ErrorFlowAnalyzer,
     InferencePipeline,
@@ -71,6 +84,7 @@ __all__ = [
     "compress",
     "core",
     "datasets",
+    "distrib",
     "io",
     "load_workload",
     "models",

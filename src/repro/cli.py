@@ -7,6 +7,11 @@ Commands mirror the paper's workflow:
 * ``plan``        — allocate a QoI tolerance between quantization and
                     compression;
 * ``pipeline``    — run the full error-bounded inference pipeline;
+* ``coordinate`` /
+  ``worker``      — distributed chunked execution: the coordinator
+                    serves the chunk manifest as TTL leases over TCP,
+                    workers compute leased chunks on their local
+                    supervised pool and stream results back;
 * ``compress`` /
   ``decompress``  — error-bounded (de)compression of ``.npy`` arrays;
 * ``store``       — summarize a :class:`~repro.io.DatasetStore` directory;
@@ -66,6 +71,21 @@ from .workloads import WORKLOAD_NAMES, load_workload
 __all__ = ["main", "build_parser"]
 
 _LOG = get_logger("cli")
+
+
+def _add_plan_flags(sub) -> None:
+    """Shared plan-identity flags for the distributed commands.
+
+    Coordinator and workers must agree on all of these — they feed the
+    plan fingerprint checked at handshake, so a mismatch is refused
+    instead of silently merging results from different computations.
+    """
+    sub.add_argument("workload", choices=WORKLOAD_NAMES)
+    sub.add_argument("--tolerance", type=float, required=True)
+    sub.add_argument("--norm", choices=("linf", "l2"), default="linf")
+    sub.add_argument("--codec", choices=("sz", "zfp", "mgard"), default="sz")
+    sub.add_argument("--fraction", type=float, default=0.5,
+                     help="share of the tolerance allocated to quantization")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +175,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per chunk before quarantine (process "
         "executor; quarantined chunks degrade to fallback-lossless "
         "in-process; default: 2)",
+    )
+
+    coordinate = commands.add_parser(
+        "coordinate",
+        help="serve a chunked run's shards to remote workers over TCP",
+    )
+    _add_plan_flags(coordinate)
+    coordinate.add_argument(
+        "--chunk-size", type=int, required=True,
+        help="slab extent per chunk; must match every worker's "
+        "--chunk-size exactly (it is part of the handshake identity)",
+    )
+    coordinate.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1)",
+    )
+    coordinate.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default: 0 = ephemeral, printed "
+        "at startup)",
+    )
+    coordinate.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="heartbeat-renewed lease lifetime; a silent worker's chunks "
+        "are re-leased after this (default: 15)",
+    )
+    coordinate.add_argument(
+        "--shard-size", type=int, default=1,
+        help="chunks per lease (default: 1 = smallest reassignment unit)",
+    )
+    coordinate.add_argument(
+        "--expect-workers", type=int, default=0,
+        help="hold back leases until this many workers joined, so the "
+        "first worker does not take every shard (default: 0 = grant "
+        "immediately)",
+    )
+    coordinate.add_argument(
+        "--worker-wait", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for workers to join (or rejoin) before "
+        "degrading to the local supervised pool (default: 30)",
+    )
+    coordinate.add_argument(
+        "--workers", type=int, default=None,
+        help="local pool size used only if the run degrades to "
+        "single-host execution",
+    )
+    coordinate.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="merge every accepted shard into this journal so a killed "
+        "coordinator resumes without recomputing",
+    )
+    coordinate.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint DIR: replay completed chunks, "
+        "lease out only the rest",
+    )
+    coordinate.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk deadline for the degraded local pool",
+    )
+    coordinate.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per chunk in the degraded local pool "
+        "(default: 2)",
+    )
+
+    worker = commands.add_parser(
+        "worker", help="join a distributed run as a shard worker"
+    )
+    _add_plan_flags(worker)
+    worker.add_argument(
+        "--chunk-size", type=int, required=True,
+        help="slab extent per chunk; must match the coordinator's "
+        "--chunk-size exactly",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address to join",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker name reported to the coordinator "
+        "(default: worker-<pid>)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=None,
+        help="local supervised-pool size for computing leased chunks",
+    )
+    worker.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk deadline in the local pool; an overdue chunk is "
+        "killed and retried (default: none)",
+    )
+    worker.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per chunk before quarantine (default: 2)",
+    )
+    worker.add_argument(
+        "--local-checkpoint", metavar="DIR", default=None,
+        help="journal computed chunks here so a restarted worker resends "
+        "instead of recomputing (default: a temp directory)",
     )
 
     compress = commands.add_parser("compress", help="compress a .npy array")
@@ -366,6 +487,147 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _distrib_pipeline(args):
+    """Build (pipeline, fields, reshape, chunk_axis) for coordinate/worker.
+
+    Both sides run exactly this construction, so their plan fingerprints
+    and chunk digests agree whenever the flags do."""
+    if args.chunk_size <= 0:
+        raise ConfigurationError(
+            f"--chunk-size must be a positive integer, got {args.chunk_size}"
+        )
+    if args.workers is not None and args.workers <= 0:
+        raise ConfigurationError(
+            f"--workers must be a positive integer, got {args.workers}"
+        )
+    if args.max_retries < 0:
+        raise ConfigurationError(
+            f"--max-retries must be >= 0, got {args.max_retries}"
+        )
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise ConfigurationError(
+            f"--task-timeout must be positive, got {args.task_timeout}"
+        )
+    workload = load_workload(args.workload)
+    planner = TolerancePlanner(workload.qoi_analyzer())
+    plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
+    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    chunk_axis = 0 if workload.name == "eurosat" else 1
+    return pipeline, workload.dataset.fields, _samples_reshape(workload), chunk_axis
+
+
+def _cmd_coordinate(args) -> int:
+    import signal as signal_module
+
+    from .distrib import DistribConfig, DrainedError
+
+    if args.resume and not args.checkpoint:
+        raise ConfigurationError("--resume requires --checkpoint DIR")
+    pipeline, fields, reshape, chunk_axis = _distrib_pipeline(args)
+
+    def on_start(coordinator) -> None:
+        def drain(signum, frame) -> None:
+            coordinator.request_drain("SIGTERM")
+
+        signal_module.signal(signal_module.SIGTERM, drain)
+
+    config = DistribConfig(
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        shard_size=args.shard_size,
+        expect_workers=args.expect_workers,
+        worker_wait=args.worker_wait,
+        on_start=on_start,
+    )
+    try:
+        result = pipeline.execute_chunked(
+            fields,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            chunk_axis=chunk_axis,
+            samples_from_fields=reshape,
+            executor="distributed",
+            distrib=config,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_retries,
+        )
+    except DrainedError as exc:
+        # a drain is a clean, resumable stop, not a failure
+        _LOG.info(f"coordinator drained: {exc}")
+        _LOG.info("resume with the same flags plus --resume")
+        return 0
+    distrib = result.extra.get("distrib")
+    if distrib is None:
+        # every chunk replayed from the journal: no coordinator ran
+        _LOG.info("nothing to distribute: all chunks replayed from the checkpoint")
+    else:
+        counts = distrib["results"]
+        _LOG.info(
+            f"distributed run [{distrib['outcome']}]: "
+            f"{distrib['completed_chunks']} chunks via {distrib['workers_joined']} "
+            f"worker(s), {distrib['leases_granted']} leases "
+            f"({distrib['leases_expired']} expired, "
+            f"{distrib['leases_reassigned']} reassigned)"
+        )
+        if counts["duplicate"] or counts["conflict"] or counts["rejected"]:
+            _LOG.info(
+                f"results: {counts['accepted']} accepted, "
+                f"{counts['duplicate']} duplicate, {counts['conflict']} conflict, "
+                f"{counts['rejected']} rejected"
+            )
+    checkpoint = result.extra.get("checkpoint")
+    if checkpoint is not None:
+        _LOG.info(
+            f"checkpoint: {checkpoint['path']} "
+            f"({checkpoint['replayed_chunks']} replayed, "
+            f"{checkpoint['computed_chunks']} computed)"
+        )
+    achieved = result.qoi_error(args.norm, relative=False)
+    _LOG.info(f"achieved QoI error: {achieved:.4e} (tolerance {args.tolerance:.1e})")
+    if achieved > args.tolerance:
+        _LOG.error("TOLERANCE VIOLATED")
+        return 1
+    _LOG.info("tolerance honoured")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .distrib import ShardWorker
+    from .resilience import ChaosInjector
+
+    pipeline, fields, reshape, chunk_axis = _distrib_pipeline(args)
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ConfigurationError(
+            f"--connect must be HOST:PORT, got {args.connect!r}"
+        )
+    shard_worker = ShardWorker(
+        pipeline,
+        fields,
+        args.chunk_size,
+        chunk_axis=chunk_axis,
+        samples_from_fields=reshape,
+        name=args.name,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        max_task_retries=args.max_retries,
+        chaos=ChaosInjector.from_env(),
+        checkpoint=args.local_checkpoint,
+    )
+    summary = shard_worker.run(host, int(port_text))
+    _LOG.info(
+        f"worker {summary['worker']}: {summary['leases']} leases, "
+        f"{summary['chunks_computed']} computed, "
+        f"{summary['chunks_resent']} resent, "
+        f"{summary['reconnects']} reconnects "
+        f"(drained: {summary['drained'] or 'n/a'})"
+    )
+    return 0
+
+
 def _cmd_compress(args) -> int:
     array = np.load(args.input)
     codec = get_compressor(args.codec)
@@ -538,6 +800,8 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "plan": _cmd_plan,
     "pipeline": _cmd_pipeline,
+    "coordinate": _cmd_coordinate,
+    "worker": _cmd_worker,
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "store": _cmd_store,

@@ -18,6 +18,7 @@ instead of killing it.
 
 from __future__ import annotations
 
+import io
 import threading
 import time
 from dataclasses import dataclass, field
@@ -32,7 +33,7 @@ from ..exceptions import (
     PlanningError,
     ReproError,
 )
-from ..io.checkpoint import CheckpointJournal, digest_array
+from ..io.checkpoint import CheckpointJournal, digest_array, digest_model
 from ..io.serialization import blob_from_bytes, blob_to_bytes
 from ..nn.module import Module
 from ..obs import get_auditor, get_logger, get_metrics, get_tracer
@@ -51,7 +52,34 @@ from ..resilience.retry import RetryPolicy
 from ..resilience.supervisor import SupervisedPool, fork_available
 from .planner import InferencePlan
 
-__all__ = ["PipelineResult", "InferencePipeline"]
+__all__ = ["PipelineResult", "InferencePipeline", "split_chunks"]
+
+
+def split_chunks(
+    fields: np.ndarray, chunk_size: int, chunk_axis: int = 0
+) -> "list[np.ndarray]":
+    """Split ``fields`` along ``chunk_axis`` into contiguous slabs.
+
+    The one canonical chunking: ``execute_chunked`` and every
+    distributed worker must produce identical slabs (and therefore
+    identical per-chunk digests) or they are not running the same
+    computation.
+    """
+    fields = np.asarray(fields)
+    chunk_size = int(chunk_size)
+    if chunk_size <= 0:
+        raise PlanningError(f"chunk_size must be positive, got {chunk_size}")
+    extent = fields.shape[chunk_axis]
+    if extent == 0:
+        raise PlanningError("cannot chunk an empty field array")
+    return [
+        np.ascontiguousarray(
+            np.take(
+                fields, np.arange(lo, min(lo + chunk_size, extent)), axis=chunk_axis
+            )
+        )
+        for lo in range(0, extent, chunk_size)
+    ]
 
 
 @dataclass
@@ -462,6 +490,7 @@ class InferencePipeline:
         task_timeout: "float | None" = None,
         max_task_retries: int = 2,
         chaos=None,
+        distrib=None,
     ) -> PipelineResult:
         """Run the pipeline over chunks of ``fields``, optionally in parallel.
 
@@ -502,9 +531,17 @@ class InferencePipeline:
             deadlines, respawn, retry/backoff, quarantine, circuit
             breaker; see :class:`~repro.resilience.supervisor.SupervisedPool`);
             ``"thread"`` — the PR-4 thread pool (fail-fast, no
-            supervision); ``"serial"`` — in-process loop; ``"auto"``
+            supervision); ``"serial"`` — in-process loop;
+            ``"distributed"`` — serve the chunks as leases to remote
+            workers via a :class:`~repro.distrib.coordinator.
+            ShardCoordinator` (configured by ``distrib``), degrading to
+            the local supervised pool if no worker joins; ``"auto"``
             (default) — process pool when ``workers > 1`` and fork is
-            available, else thread, else serial.
+            available, else serial (the thread pool is never chosen
+            automatically: BENCH_pr4 showed it yields no inference
+            speedup, so it remains explicit-opt-in only).  The executor
+            actually used and the one requested are both recorded in
+            ``result.extra["chunked"]``.
         checkpoint:
             Directory for a durable
             :class:`~repro.io.checkpoint.CheckpointJournal`: every
@@ -524,7 +561,13 @@ class InferencePipeline:
         chaos:
             Optional :class:`~repro.resilience.inject.ChaosInjector`
             applied inside workers (tests/CI); defaults to the
-            ``REPRO_CHAOS`` environment spec when set.
+            ``REPRO_CHAOS`` environment spec when set.  Not accepted by
+            the distributed executor — there, chaos belongs to the
+            worker processes.
+        distrib:
+            Optional :class:`~repro.distrib.coordinator.DistribConfig`
+            for the distributed executor (bind address, lease TTL,
+            shard size, expected worker count, join timeout).
 
         Returns
         -------
@@ -544,42 +587,49 @@ class InferencePipeline:
             )
         fields = np.asarray(fields)
         chunk_size = int(chunk_size)
-        if chunk_size <= 0:
-            raise PlanningError(f"chunk_size must be positive, got {chunk_size}")
-        extent = fields.shape[chunk_axis]
-        if extent == 0:
-            raise PlanningError("cannot chunk an empty field array")
         if resume and checkpoint is None:
             raise ConfigurationError("resume=True requires a checkpoint directory")
-        chunks = [
-            np.ascontiguousarray(
-                np.take(fields, np.arange(lo, min(lo + chunk_size, extent)), axis=chunk_axis)
-            )
-            for lo in range(0, extent, chunk_size)
-        ]
+        chunks = split_chunks(fields, chunk_size, chunk_axis)
         n_workers = resolve_workers(workers)
+        requested_executor = executor
         executor = self._resolve_executor(executor, n_workers)
-        if chaos is None:
-            chaos = ChaosInjector.from_env()
-        if chaos is not None and executor != "process":
+        if distrib is not None and executor != "distributed":
             raise ConfigurationError(
-                "chaos injection simulates worker faults and requires the "
-                f"process executor (resolved executor: {executor!r})"
+                "distrib configuration requires executor='distributed', "
+                f"got {executor!r}"
             )
+        if executor == "distributed":
+            # chaos is worker-side in distributed mode: the coordinator
+            # must not consume a REPRO_CHAOS spec meant for its workers
+            if chaos is not None:
+                raise ConfigurationError(
+                    "chaos injection in distributed mode belongs to the "
+                    "worker processes (set REPRO_CHAOS there)"
+                )
+        else:
+            if chaos is None:
+                chaos = ChaosInjector.from_env()
+            if chaos is not None and executor != "process":
+                raise ConfigurationError(
+                    "chaos injection simulates worker faults and requires the "
+                    f"process executor (resolved executor: {executor!r})"
+                )
         # eval() once up front: workers must not mutate module state.
         self.model.eval()
         auditor = get_auditor()
 
         journal = None
         digests: "list[str] | None" = None
+        manifest: "dict | None" = None
         completed_entries: dict = {}
-        if checkpoint is not None:
+        if checkpoint is not None or executor == "distributed":
             digests = [digest_array(chunk) for chunk in chunks]
-            journal = CheckpointJournal(checkpoint)
-            completed_entries = journal.begin(
-                self._checkpoint_manifest(chunks, chunk_size, chunk_axis, digests),
-                resume=resume,
+            manifest = self._checkpoint_manifest(
+                chunks, chunk_size, chunk_axis, digests
             )
+        if checkpoint is not None:
+            journal = CheckpointJournal(checkpoint)
+            completed_entries = journal.begin(manifest, resume=resume)
 
         tracer = get_tracer()
         wall_start = time.perf_counter()
@@ -600,7 +650,28 @@ class InferencePipeline:
             pending = [i for i in range(len(chunks)) if i not in results]
 
             supervision = None
-            if pending and executor == "process":
+            distrib_summary = None
+            if pending and executor == "distributed":
+                distrib_summary, pending = self._run_chunks_distributed(
+                    chunks, pending, manifest, journal, auditor, results, distrib
+                )
+                if pending:
+                    # degradation: no (surviving) workers — finish on the
+                    # local supervised pool so the run still completes
+                    supervision = self._run_chunks_supervised(
+                        chunks,
+                        pending,
+                        samples_from_fields,
+                        journal,
+                        digests,
+                        auditor,
+                        results,
+                        n_workers=n_workers,
+                        task_timeout=task_timeout,
+                        max_task_retries=max_task_retries,
+                        chaos=None,
+                    )
+            elif pending and executor == "process":
                 supervision = self._run_chunks_supervised(
                     chunks,
                     pending,
@@ -672,12 +743,15 @@ class InferencePipeline:
                 "chunk_axis": chunk_axis,
                 "workers": n_workers,
                 "executor": executor,
+                "requested_executor": requested_executor,
                 "wall_seconds": wall_seconds,
                 "compression_ratio": aggregate_ratio,
             },
         }
         if supervision is not None:
             extra["supervision"] = supervision
+        if distrib_summary is not None:
+            extra["distrib"] = distrib_summary
         if journal is not None:
             extra["checkpoint"] = {
                 "path": journal.path,
@@ -703,14 +777,18 @@ class InferencePipeline:
 
     @staticmethod
     def _resolve_executor(executor: str, n_workers: int) -> str:
-        if executor not in ("auto", "serial", "thread", "process"):
+        if executor not in ("auto", "serial", "thread", "process", "distributed"):
             raise ConfigurationError(
-                f"executor must be auto|serial|thread|process, got {executor!r}"
+                "executor must be auto|serial|thread|process|distributed, "
+                f"got {executor!r}"
             )
         if executor == "auto":
             if n_workers <= 1:
                 return "serial"
-            return "process" if fork_available() else "thread"
+            # BENCH_pr4: the GIL-bound thread pool yields no inference
+            # speedup, so auto never picks it — process if fork exists,
+            # else serial.  "thread" and "distributed" stay explicit.
+            return "process" if fork_available() else "serial"
         return executor
 
     def _checkpoint_manifest(
@@ -744,8 +822,13 @@ class InferencePipeline:
         digest: str,
         attempts: int = 1,
         quarantined: bool = False,
-    ) -> None:
-        """Persist one certified-complete chunk (artifact + journal line)."""
+    ) -> dict:
+        """Persist one certified-complete chunk (artifact + journal line).
+
+        Returns the journal entry as written — the distributed worker
+        resends exactly this entry (plus the journaled artifact bytes)
+        over the wire, so local and merged journals agree bit for bit.
+        """
         entry = {
             "input_digest": digest,
             "attempts": int(attempts),
@@ -763,7 +846,7 @@ class InferencePipeline:
             "integrity": result.extra.get("integrity", {}),
             "audit": result.extra.get("audit"),
         }
-        journal.record(
+        return journal.record(
             index,
             outputs=result.outputs,
             reference_outputs=result.reference_outputs,
@@ -780,10 +863,21 @@ class InferencePipeline:
         re-audit) is adopted into the parent auditor, so a resumed run's
         registry matches an uninterrupted one chunk-for-chunk.
         """
-        payload = journal.load(entry)
+        return self._result_from_payload(journal.load(entry), entry, auditor)
+
+    def _result_from_payload(
+        self, payload: dict, entry: dict, auditor, origin: str = "replayed"
+    ) -> PipelineResult:
+        """A :class:`PipelineResult` from journaled/remote chunk data.
+
+        ``payload`` carries the arrays (``outputs``, ``reference_outputs``,
+        ``blob_bytes``); ``entry`` the journal metadata.  Audit records
+        riding in the entry are adopted into the live auditor, exactly as
+        for process-pool workers.
+        """
         extra: dict = {
             "integrity": dict(entry.get("integrity", {})),
-            "replayed": True,
+            origin: True,
         }
         audit_dict = entry.get("audit")
         if audit_dict:
@@ -804,6 +898,80 @@ class InferencePipeline:
             input_error_l2_max=float(entry.get("input_error_l2_max", 0.0)),
             extra=extra,
         )
+
+    def _run_chunks_distributed(
+        self,
+        chunks,
+        pending: "list[int]",
+        manifest: dict,
+        journal: "CheckpointJournal | None",
+        auditor,
+        results: "dict[int, PipelineResult]",
+        config,
+    ) -> "tuple[dict, list[int]]":
+        """Serve pending chunks as leases to remote shard workers.
+
+        Blocks until the coordinator run resolves, materializes every
+        accepted remote result into ``results`` and returns the
+        coordinator summary plus whatever chunks remain uncomputed (the
+        caller degrades those to the local supervised pool).  A drain
+        (SIGTERM) that leaves work unfinished raises
+        :class:`~repro.distrib.coordinator.DrainedError` so the caller
+        exits resumable instead of silently recomputing locally.
+        """
+        from ..distrib.coordinator import (
+            DistribConfig,
+            DrainedError,
+            ShardCoordinator,
+        )
+
+        coordinator = ShardCoordinator(
+            manifest,
+            weights=digest_model(self.model),
+            journal=journal,
+            completed=set(results),
+            config=config if config is not None else DistribConfig(),
+        )
+        summary = coordinator.run()
+
+        for index in sorted(coordinator.accepted):
+            entry = coordinator.accepted[index]
+            if journal is not None:
+                # the merged journal holds the worker's artifact bytes
+                # verbatim; replaying through it re-verifies the digest
+                results[index] = self._replay_chunk(journal, entry, auditor)
+                results[index].extra["remote"] = True
+                results[index].extra.pop("replayed", None)
+            else:
+                data = coordinator.payload(index)
+                with np.load(io.BytesIO(data)) as archive:
+                    payload = {
+                        "outputs": archive["outputs"],
+                        "reference_outputs": archive["reference_outputs"],
+                        "blob_bytes": archive["blob"].tobytes(),
+                    }
+                results[index] = self._result_from_payload(
+                    payload, entry, auditor, origin="remote"
+                )
+
+        remaining = [i for i in pending if i not in results]
+        if remaining and summary.get("outcome") == "drained":
+            raise DrainedError(
+                f"coordinator drained with {len(remaining)} chunks "
+                "unfinished; re-run with resume=True to continue from the "
+                "checkpoint journal"
+            )
+        if remaining:
+            get_logger("pipeline").warning(
+                "distributed run left chunks unfinished; degrading to the "
+                "local supervised pool",
+                outcome=summary.get("outcome"),
+                remaining=len(remaining),
+            )
+            get_metrics().counter("distrib_degraded_local_total").inc(
+                len(remaining)
+            )
+        return summary, remaining
 
     def _run_chunks_supervised(
         self,

@@ -1,0 +1,452 @@
+"""Worker agent: lease chunks from a coordinator, compute them locally.
+
+A :class:`ShardWorker` is the remote half of distributed chunked
+execution.  It holds the *same* fields, plan and model as the
+coordinator (verified at handshake via the plan fingerprint, manifest
+digest and weights digest), pulls leases over the wire, and runs each
+leased chunk through the PR-6 machinery it already trusts:
+
+* compute happens on a local :class:`~repro.resilience.supervisor.
+  SupervisedPool`, so respawn / bounded retry / quarantine→lossless
+  semantics apply per worker exactly as they do single-host;
+* every completed chunk is journaled into a *local*
+  :class:`~repro.io.checkpoint.CheckpointJournal` before its RESULT is
+  sent — the artifact bytes on the wire are the journaled bytes, so the
+  coordinator's merged journal is bit-identical to the worker's;
+* a re-leased chunk the worker already computed is resent from the
+  local journal, never recomputed (the coordinator dedups
+  first-digest-wins);
+* connects and reconnects go through :func:`~repro.resilience.retry.
+  retry_call` under a :class:`~repro.resilience.retry.RetryPolicy`, so
+  backoff schedules stay deterministic under test seeds.
+
+Chaos: ``kill`` and ``disconnect`` rules are fired by the agent itself
+(SIGKILL the whole process / sever the coordinator connection), keyed by
+*chunk index* with one attempt counted per lease of that chunk.  All
+other rules are forwarded to the supervised pool, translated so they
+also match chunk indices rather than shard-relative positions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from ..core.pipeline import split_chunks
+from ..exceptions import IntegrityError, ProtocolError
+from ..io.checkpoint import CheckpointJournal, digest_array, digest_bytes, digest_model
+from ..obs import get_logger, get_metrics
+from ..resilience.inject import ChaosInjector, ChaosPartition
+from ..resilience.retry import RetryPolicy, retry_call
+from ..resilience.supervisor import SupervisedPool
+from ..resilience.guards import screen_finite
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameSocket,
+    encode_artifact,
+    manifest_identity,
+    msg_heartbeat,
+    msg_hello,
+    msg_lease_request,
+    msg_result,
+)
+
+__all__ = ["ShardWorker"]
+
+_LOG = get_logger("distrib.worker")
+
+#: consecutive connection losses tolerated before the agent gives up
+_MAX_CONSECUTIVE_FAILURES = 10
+
+#: cap on server-suggested wait naps, so drain is never far away
+_MAX_WAIT_NAP = 1.0
+
+
+class _TranslatedChaos:
+    """Adapter mapping pool task positions back to chunk indices, so a
+    ``raise@2`` rule means "chunk 2" in a distributed worker too."""
+
+    def __init__(self, inner: ChaosInjector, chunk_ids: "list[int]") -> None:
+        self._inner = inner
+        self._chunk_ids = chunk_ids
+
+    def before_task(self, task_id: int, attempt: int) -> None:
+        self._inner.before_task(self._chunk_ids[task_id], attempt)
+
+    def after_task(self, task_id: int, attempt: int, result):
+        return self._inner.after_task(self._chunk_ids[task_id], attempt, result)
+
+
+class _Heartbeat:
+    """Background lease renewal; one per in-flight lease."""
+
+    def __init__(self, conn: FrameSocket, lease_id: int, ttl: float) -> None:
+        self._conn = conn
+        self._lease_id = lease_id
+        self._interval = max(0.05, ttl / 4.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"distrib-heartbeat-{lease_id}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._conn.send(msg_heartbeat(self._lease_id))
+            except OSError:
+                return  # connection died; the main loop will notice
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class ShardWorker:
+    """One remote worker: connect, lease, compute, submit, repeat.
+
+    Parameters mirror ``execute_chunked``'s chunking arguments — the
+    worker must chunk the fields *identically* to the coordinator or the
+    handshake digests will not match (which is the point).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        fields: np.ndarray,
+        chunk_size: int,
+        *,
+        chunk_axis: int = 0,
+        samples_from_fields=None,
+        name: "str | None" = None,
+        workers: "int | None" = None,
+        task_timeout: "float | None" = None,
+        max_task_retries: int = 2,
+        connect_retry: "RetryPolicy | None" = None,
+        connect_timeout: float = 5.0,
+        chaos: "ChaosInjector | None" = None,
+        checkpoint: "str | None" = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.chunks = split_chunks(np.asarray(fields), chunk_size, chunk_axis)
+        self.digests = [digest_array(chunk) for chunk in self.chunks]
+        self.manifest = pipeline._checkpoint_manifest(
+            self.chunks, int(chunk_size), int(chunk_axis), self.digests
+        )
+        self.identity = manifest_identity(self.manifest)
+        self.weights = digest_model(pipeline.model)
+        self.name = name or f"worker-{os.getpid()}"
+        self.samples_from_fields = samples_from_fields
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.max_task_retries = int(max_task_retries)
+        self.retry = connect_retry or RetryPolicy(
+            max_retries=5, base_delay=0.2, max_delay=5.0
+        )
+        self.connect_timeout = float(connect_timeout)
+        self.chaos = chaos
+        self._chaos_attempts: "dict[int, int]" = {}
+        directory = checkpoint or tempfile.mkdtemp(prefix="repro-worker-")
+        self._journal = CheckpointJournal(directory)
+        self._local: "dict[int, dict]" = self._journal.begin(
+            self.manifest, resume=checkpoint is not None
+        )
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, host: str, port: int) -> dict:
+        """Serve leases until the coordinator drains this worker.
+
+        Returns a summary dict.  Raises
+        :class:`~repro.exceptions.IntegrityError` if the coordinator
+        refuses the handshake (different plan/data/weights) and
+        :class:`~repro.exceptions.ProtocolError` if the coordinator
+        stays unreachable past the retry budget.
+        """
+        self.pipeline.model.eval()
+        summary = {
+            "worker": self.name,
+            "leases": 0,
+            "chunks_computed": 0,
+            "chunks_resent": 0,
+            "reconnects": 0,
+            "partitions": 0,
+            "results": {},
+            "drained": None,
+        }
+        failures = 0
+        conn = self._connect(host, port)
+        try:
+            while True:
+                try:
+                    conn.send(msg_lease_request())
+                    reply = self._recv(conn)
+                    kind = reply["type"]
+                    if kind == "drain":
+                        summary["drained"] = reply.get("reason", "")
+                        break
+                    if kind == "wait":
+                        time.sleep(
+                            min(float(reply.get("seconds", 0.25)), _MAX_WAIT_NAP)
+                        )
+                        continue
+                    if kind != "lease":
+                        raise ProtocolError(
+                            f"expected lease/wait/drain, got {kind!r}"
+                        )
+                    summary["leases"] += 1
+                    self._serve_lease(conn, reply, summary)
+                    failures = 0
+                except ChaosPartition as exc:
+                    summary["partitions"] += 1
+                    get_metrics().counter("distrib_partitions_total").inc()
+                    _LOG.warning(
+                        "injected partition; dropping connection",
+                        worker=self.name,
+                        error=str(exc),
+                    )
+                    conn.close()
+                    summary["reconnects"] += 1
+                    conn = self._connect(host, port)
+                except (TimeoutError, OSError, ProtocolError) as exc:
+                    failures += 1
+                    if failures >= _MAX_CONSECUTIVE_FAILURES:
+                        raise ProtocolError(
+                            f"giving up after {failures} consecutive "
+                            f"connection failures: {exc}"
+                        ) from exc
+                    _LOG.warning(
+                        "lost coordinator connection; reconnecting",
+                        worker=self.name,
+                        error=str(exc),
+                    )
+                    conn.close()
+                    summary["reconnects"] += 1
+                    conn = self._connect(host, port)
+        finally:
+            conn.close()
+        _LOG.info(
+            "worker drained",
+            worker=self.name,
+            leases=summary["leases"],
+            computed=summary["chunks_computed"],
+            resent=summary["chunks_resent"],
+            reason=summary["drained"],
+        )
+        return summary
+
+    def _recv(self, conn: FrameSocket) -> dict:
+        message = conn.recv()
+        if message is None:
+            raise ProtocolError("coordinator closed the connection")
+        return message
+
+    # -- connection --------------------------------------------------------
+
+    def _connect(self, host: str, port: int) -> FrameSocket:
+        """Connect + handshake under the retry policy (satellite: no
+        ad-hoc sleeps — the backoff schedule is the deterministic
+        :class:`RetryPolicy` one)."""
+
+        def attempt() -> FrameSocket:
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self.connect_timeout
+            )
+            conn = FrameSocket(sock, role="worker")
+            conn.settimeout(30.0)
+            try:
+                conn.send(
+                    msg_hello(
+                        self.name,
+                        self.manifest["fingerprint"],
+                        self.identity,
+                        self.weights,
+                    )
+                )
+                reply = conn.recv()
+            except BaseException:
+                conn.close()
+                raise
+            if reply is None:
+                conn.close()
+                raise ProtocolError("coordinator closed during handshake")
+            if reply["type"] == "refuse":
+                conn.close()
+                raise IntegrityError(
+                    f"coordinator refused worker {self.name!r}: "
+                    f"{reply.get('reason', 'no reason given')}"
+                )
+            if reply["type"] != "welcome" or reply.get("proto") != PROTOCOL_VERSION:
+                conn.close()
+                raise ProtocolError(
+                    f"bad handshake reply {reply.get('type')!r} "
+                    f"(proto {reply.get('proto')!r})"
+                )
+            # a hung coordinator should look like a lost one well before
+            # our own lease could have expired twice over
+            conn.settimeout(max(10.0, 4.0 * float(reply.get("lease_ttl", 5.0))))
+            return conn
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            get_metrics().counter("distrib_connect_retries_total").inc()
+            _LOG.debug(
+                "coordinator unreachable; backing off",
+                worker=self.name,
+                attempt=attempt_no,
+                error=str(exc),
+            )
+
+        try:
+            return retry_call(
+                attempt,
+                self.retry,
+                retry_on=(OSError, ProtocolError),
+                on_retry=on_retry,
+            )
+        except IntegrityError:
+            raise
+        except (OSError, ProtocolError) as exc:
+            raise ProtocolError(
+                f"could not reach coordinator at {host}:{port} after "
+                f"{self.retry.max_retries + 1} attempts: {exc}"
+            ) from exc
+
+    # -- lease handling ----------------------------------------------------
+
+    def _serve_lease(self, conn: FrameSocket, lease: dict, summary: dict) -> None:
+        lease_id = int(lease["lease"])
+        ttl = float(lease.get("ttl", 15.0))
+        chunk_ids = [int(c) for c in lease.get("chunks", [])]
+        for chunk in chunk_ids:
+            if not 0 <= chunk < len(self.chunks):
+                raise ProtocolError(f"leased unknown chunk {chunk}")
+        heartbeat = _Heartbeat(conn, lease_id, ttl)
+        try:
+            # agent-level chaos first: a killed/partitioned worker never
+            # reaches compute, exactly like the real fault it simulates
+            for chunk in chunk_ids:
+                self._fire_agent_chaos(chunk)
+            to_compute = [c for c in chunk_ids if c not in self._local]
+            if to_compute:
+                self._compute(to_compute)
+                summary["chunks_computed"] += len(to_compute)
+            summary["chunks_resent"] += len(chunk_ids) - len(to_compute)
+            for chunk in chunk_ids:
+                entry = self._local[chunk]
+                data = self._artifact_bytes(entry)
+                conn.send(
+                    msg_result(lease_id, chunk, entry, encode_artifact(data))
+                )
+                ack = self._recv(conn)
+                if ack["type"] != "result_ack" or ack.get("chunk") != chunk:
+                    raise ProtocolError(
+                        f"expected ack for chunk {chunk}, got {ack!r}"
+                    )
+                status = str(ack.get("status", "unknown"))
+                summary["results"][status] = summary["results"].get(status, 0) + 1
+                if status == "rejected":
+                    _LOG.error(
+                        "coordinator rejected a result",
+                        worker=self.name,
+                        chunk=chunk,
+                    )
+        finally:
+            heartbeat.stop()
+
+    def _fire_agent_chaos(self, chunk: int) -> None:
+        if self.chaos is None:
+            return
+        attempt = self._chaos_attempts.get(chunk, 0)
+        self._chaos_attempts[chunk] = attempt + 1
+        for rule in self.chaos.active_rules(chunk, attempt):
+            if rule.action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif rule.action == "disconnect":
+                raise ChaosPartition(
+                    f"injected partition on chunk {chunk} attempt {attempt}"
+                )
+
+    def _pool_chaos(self, chunk_ids: "list[int]"):
+        if self.chaos is None:
+            return None
+        rules = [
+            rule
+            for rule in self.chaos.rules
+            if rule.action not in ("kill", "disconnect")
+        ]
+        if not rules:
+            return None
+        return _TranslatedChaos(ChaosInjector(rules), chunk_ids)
+
+    def _compute(self, chunk_ids: "list[int]") -> None:
+        """PR-6 semantics, locally: supervised pool + journal + quarantine."""
+        pipeline = self.pipeline
+
+        def task_fn(index: int):
+            return pipeline.execute(
+                self.chunks[index], samples_from_fields=self.samples_from_fields
+            )
+
+        def validate(task_id: int, result) -> None:
+            if pipeline.screen:
+                screen_finite(result.outputs, stage="chunk", name="outputs")
+
+        def on_result(task_id: int, result, outcome) -> None:
+            index = chunk_ids[task_id]
+            self._local[index] = pipeline._journal_chunk(
+                self._journal,
+                index,
+                result,
+                self.digests[index],
+                attempts=outcome.attempts,
+            )
+
+        pool = SupervisedPool(
+            task_fn,
+            workers=self.workers,
+            task_timeout=self.task_timeout,
+            retry=RetryPolicy(max_retries=self.max_task_retries),
+            chaos=self._pool_chaos(chunk_ids),
+            validate=validate if pipeline.screen else None,
+            label=self.name,
+        )
+        report = pool.run(chunk_ids, on_result=on_result)
+        for position in report.quarantined:
+            index = chunk_ids[position]
+            outcome = report.outcomes[position]
+            _LOG.warning(
+                "quarantined chunk degrading to fallback-lossless in-process",
+                worker=self.name,
+                chunk=index,
+                attempts=outcome.attempts,
+            )
+            result = pipeline.execute(
+                self.chunks[index],
+                samples_from_fields=self.samples_from_fields,
+                force_lossless=True,
+            )
+            self._local[index] = pipeline._journal_chunk(
+                self._journal,
+                index,
+                result,
+                self.digests[index],
+                attempts=outcome.attempts,
+                quarantined=True,
+            )
+
+    def _artifact_bytes(self, entry: dict) -> bytes:
+        path = os.path.join(self._journal.path, entry["artifact"])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if digest_bytes(data) != entry.get("artifact_digest"):
+            raise IntegrityError(
+                f"local artifact {path!r} digest mismatch: file changed "
+                "since it was journaled"
+            )
+        return data

@@ -34,6 +34,17 @@ class IntegrityError(CompressionError):
     """
 
 
+class ProtocolError(ReproError):
+    """A distributed-execution peer violated the wire protocol.
+
+    Raised on malformed frames, unexpected message types, oversized
+    payloads and connections that close mid-frame.  Handshake-level
+    *identity* failures (plan fingerprint or weights mismatch) raise
+    :class:`IntegrityError` instead: they mean the bytes were fine but
+    the computation would not have been the same one.
+    """
+
+
 class ContractViolation(ReproError):
     """An achieved error escaped its negotiated tolerance.
 

@@ -1,6 +1,6 @@
 """Persistent storage of compressed arrays (the disk side of Fig. 1)."""
 
-from .checkpoint import CheckpointJournal, digest_array, digest_bytes
+from .checkpoint import CheckpointJournal, digest_array, digest_bytes, digest_model
 from .chunked import ChunkedArrayReader, ChunkedArrayWriter, read_chunked, write_chunked
 from .serialization import (
     append_jsonl,
@@ -24,6 +24,7 @@ __all__ = [
     "blob_to_bytes",
     "digest_array",
     "digest_bytes",
+    "digest_model",
     "read_chunked",
     "read_jsonl_records",
     "write_chunked",

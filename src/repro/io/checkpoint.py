@@ -47,7 +47,7 @@ from ..exceptions import ConfigurationError, IntegrityError
 from ..obs import get_logger, get_metrics, get_tracer, json_default
 from .serialization import append_jsonl, atomic_write_bytes, atomic_write_json, read_jsonl_records
 
-__all__ = ["CheckpointJournal", "digest_bytes", "digest_array"]
+__all__ = ["CheckpointJournal", "digest_bytes", "digest_array", "digest_model"]
 
 _LOG = get_logger("checkpoint")
 
@@ -68,6 +68,23 @@ def digest_array(array: np.ndarray) -> str:
     array = np.ascontiguousarray(array)
     prefix = f"{array.dtype.str}:{array.shape}:".encode("utf-8")
     return digest_bytes(prefix + array.tobytes())
+
+
+def digest_model(model) -> str:
+    """Digest of a model's parameter tensors, in registration order.
+
+    Two processes that load "the same" weights can only exchange chunk
+    results if this digest agrees — the plan fingerprint covers the
+    format and tolerances but not the weight *values*, and a coordinator
+    merging results computed against different weights would certify a
+    computation nobody ran.
+    """
+    state = hashlib.blake2b(digest_size=16)
+    for name, parameter in model.named_parameters():
+        data = np.ascontiguousarray(parameter.data)
+        state.update(f"{name}:{data.dtype.str}:{data.shape}:".encode("utf-8"))
+        state.update(data.tobytes())
+    return state.hexdigest()
 
 
 class CheckpointJournal:
@@ -171,10 +188,22 @@ class CheckpointJournal:
             )
 
     def _replay(self) -> "dict[int, dict]":
-        """Validated journal entries, last-write-wins per chunk index."""
+        """Validated journal entries, one per chunk index.
+
+        Duplicate entries for a chunk — the normal shape after merging
+        journals from reassigned shards, or after a crash between the
+        artifact write and the journal append — resolve last-wins *only
+        when their artifact digests agree* (the entries describe the
+        same certified bytes, so the later metadata is at least as
+        fresh).  A duplicate whose digest disagrees with the entry
+        already replayed is a conflict: the on-disk artifact can only
+        match one of them, so the already-verified entry is kept and the
+        conflicting one dropped with a warning.
+        """
         digests = self._manifest["chunk_digests"]
         completed: dict[int, dict] = {}
         dropped = 0
+        conflicts = 0
         for entry in read_jsonl_records(self.journal_path):
             index = entry.get("chunk")
             if not isinstance(index, int) or not 0 <= index < len(digests):
@@ -182,6 +211,12 @@ class CheckpointJournal:
                 continue
             if entry.get("input_digest") not in (None, digests[index]):
                 dropped += 1
+                continue
+            previous = completed.get(index)
+            if previous is not None and (
+                entry.get("artifact_digest") != previous.get("artifact_digest")
+            ):
+                conflicts += 1
                 continue
             artifact = os.path.join(self.path, entry.get("artifact", ""))
             try:
@@ -199,6 +234,15 @@ class CheckpointJournal:
                 "dropped unverifiable journal entries; their chunks will be "
                 "recomputed",
                 dropped=dropped,
+            )
+        if conflicts:
+            get_metrics().counter("checkpoint_conflicting_entries_total").inc(
+                conflicts
+            )
+            _LOG.warning(
+                "journal holds conflicting duplicate entries; kept the first "
+                "verified entry per chunk",
+                conflicts=conflicts,
             )
         return completed
 
@@ -218,18 +262,27 @@ class CheckpointJournal:
         Returns the journal entry as written (with artifact paths and
         digests filled in).
         """
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            outputs=np.ascontiguousarray(outputs),
+            reference_outputs=np.ascontiguousarray(reference_outputs),
+            blob=np.frombuffer(bytes(blob_bytes), dtype=np.uint8),
+        )
+        return self.record_raw(index, data=buffer.getvalue(), entry=entry)
+
+    def record_raw(self, index: int, *, data: bytes, entry: dict) -> dict:
+        """Persist one completed chunk from already-serialized npz bytes.
+
+        The journal-merge path: a coordinator adopting a remote worker's
+        artifact writes the bytes *verbatim*, so the merged journal is
+        bit-identical to one the worker would have written locally —
+        digests computed on either side agree by construction.
+        """
         if self._manifest is None:
             raise ConfigurationError("CheckpointJournal.record before begin()")
         tracer = get_tracer()
         with tracer.span("checkpoint.record", chunk=index):
-            buffer = io.BytesIO()
-            np.savez(
-                buffer,
-                outputs=np.ascontiguousarray(outputs),
-                reference_outputs=np.ascontiguousarray(reference_outputs),
-                blob=np.frombuffer(bytes(blob_bytes), dtype=np.uint8),
-            )
-            data = buffer.getvalue()
             artifact_rel = os.path.join(_CHUNK_DIR, f"chunk-{index:04d}.npz")
             atomic_write_bytes(os.path.join(self.path, artifact_rel), data)
             entry = dict(entry)

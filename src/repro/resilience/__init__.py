@@ -24,6 +24,7 @@ from .inject import (
     CHAOS_ENV_VAR,
     ChaosError,
     ChaosInjector,
+    ChaosPartition,
     ChaosRule,
     FaultInjector,
     blob_corruptions,
@@ -58,6 +59,7 @@ __all__ = [
     "CHAOS_ENV_VAR",
     "ChaosError",
     "ChaosInjector",
+    "ChaosPartition",
     "ChaosRule",
     "CircuitBreaker",
     "CorruptionPolicy",

@@ -1,0 +1,665 @@
+"""Distributed shard coordination suite: wire protocol, lease
+scheduling, journal merge, chaos-driven reassignment and crash-safe
+resume.
+
+The contract under test is the distribution tentpole: a run sharded
+over TCP workers produces results bit-identical to the serial run, a
+killed or partitioned worker costs a lease (reassigned), never a chunk
+(lost or doubled), and a coordinator that dies resumes from its merged
+journal without recomputing.
+"""
+
+import shutil
+import socket
+import struct
+import tempfile
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser
+from repro.compress.sz import SZCompressor
+from repro.core.errorflow import ErrorFlowAnalyzer
+from repro.core.pipeline import InferencePipeline, split_chunks
+from repro.core.planner import TolerancePlanner
+from repro.distrib import (
+    DistribConfig,
+    DrainedError,
+    FrameSocket,
+    ShardCoordinator,
+    ShardWorker,
+    decode_artifact,
+    encode_artifact,
+    fingerprints_equal,
+    manifest_identity,
+)
+from repro.distrib.protocol import (
+    msg_hello,
+    msg_lease_request,
+    msg_result,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    IntegrityError,
+    PlanningError,
+    ProtocolError,
+)
+from repro.io import CheckpointJournal, append_jsonl, digest_array, digest_bytes
+from repro.io.checkpoint import digest_model
+from repro.resilience import CHAOS_ENV_VAR, ChaosInjector, RetryPolicy, fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="shard workers use the fork-based supervised pool"
+)
+
+#: fast deterministic connect backoff so reconnect tests never dawdle
+FAST_CONNECT = RetryPolicy(max_retries=6, base_delay=0.02, max_delay=0.2, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Tests control chaos explicitly; the environment must not leak in."""
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+
+
+# -- wire protocol ----------------------------------------------------------
+
+
+def _framed_pair():
+    """One framed end and one raw end of an in-process socket pair."""
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return FrameSocket(left, role="worker"), right
+
+
+def test_frame_roundtrip():
+    a_sock, b_sock = socket.socketpair()
+    a, b = FrameSocket(a_sock, role="worker"), FrameSocket(b_sock, role="coordinator")
+    message = msg_result(3, 1, {"input_digest": "ab"}, encode_artifact(b"\x00\x01"))
+    a.send(message)
+    assert b.recv() == message
+    a.close()
+    assert b.recv() is None  # clean EOF between frames
+    b.close()
+
+
+def test_recv_rejects_mid_frame_close():
+    framed, raw = _framed_pair()
+    raw.sendall(struct.pack("!I", 10) + b"abc")
+    raw.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        framed.recv()
+    framed.close()
+
+
+def test_recv_rejects_oversized_frame():
+    framed, raw = _framed_pair()
+    raw.sendall(struct.pack("!I", (1 << 30) + 1))
+    with pytest.raises(ProtocolError, match="limit"):
+        framed.recv()
+    framed.close()
+    raw.close()
+
+
+def test_recv_rejects_undecodable_json():
+    framed, raw = _framed_pair()
+    payload = b"{not json"
+    raw.sendall(struct.pack("!I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="undecodable"):
+        framed.recv()
+    framed.close()
+    raw.close()
+
+
+def test_recv_rejects_unknown_message_type():
+    framed, raw = _framed_pair()
+    payload = b'{"type": "bogus"}'
+    raw.sendall(struct.pack("!I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="unknown message type"):
+        framed.recv()
+    framed.close()
+    raw.close()
+
+
+def test_artifact_encoding_roundtrip():
+    data = bytes(range(256))
+    assert decode_artifact(encode_artifact(data)) == data
+    with pytest.raises(ProtocolError):
+        decode_artifact("not base64 !!")
+
+
+def test_fingerprints_equal_is_order_insensitive():
+    assert fingerprints_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
+    assert not fingerprints_equal({"a": 1}, {"a": 2})
+
+
+def test_manifest_identity_covers_digests():
+    base = {"fingerprint": {"codec": "sz"}, "chunk_digests": ["aa", "bb"]}
+    assert manifest_identity(base) == manifest_identity(dict(base))
+    assert manifest_identity(base) != manifest_identity(
+        {"fingerprint": {"codec": "sz"}, "chunk_digests": ["aa", "cc"]}
+    )
+
+
+# -- split_chunks / config validation ---------------------------------------
+
+
+def test_split_chunks_covers_fields():
+    fields = np.arange(60, dtype=np.float32).reshape(5, 12)
+    chunks = split_chunks(fields, 5, chunk_axis=1)
+    assert [c.shape for c in chunks] == [(5, 5), (5, 5), (5, 2)]
+    assert np.array_equal(np.concatenate(chunks, axis=1), fields)
+
+
+def test_split_chunks_rejects_bad_sizes():
+    fields = np.ones((4, 4), dtype=np.float32)
+    with pytest.raises(PlanningError):
+        split_chunks(fields, 0)
+    with pytest.raises(PlanningError):
+        split_chunks(np.ones((0, 4), dtype=np.float32), 2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"lease_ttl": 0.0},
+        {"shard_size": 0},
+        {"expect_workers": -1},
+        {"worker_wait": -1.0},
+    ],
+)
+def test_distrib_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        DistribConfig(**kwargs)
+
+
+# -- journal merge (satellite: duplicate-entry replay) -----------------------
+
+
+def _tiny_journal(path):
+    arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+    digest = digest_array(arr)
+    manifest = {"fingerprint": {"codec": "test"}, "chunk_digests": [digest]}
+    journal = CheckpointJournal(str(path))
+    journal.begin(manifest)
+    entry = journal.record(
+        0,
+        outputs=arr,
+        reference_outputs=arr,
+        blob_bytes=b"blob-bytes",
+        entry={"input_digest": digest, "attempts": 1},
+    )
+    return journal, manifest, entry
+
+
+def test_replay_duplicate_with_equal_digest_is_last_wins(tmp_path):
+    journal, manifest, entry = _tiny_journal(tmp_path)
+    append_jsonl(journal.journal_path, dict(entry, attempts=7))
+    completed = CheckpointJournal(str(tmp_path)).begin(manifest, resume=True)
+    # same certified bytes, so the later (fresher) metadata wins
+    assert completed[0]["attempts"] == 7
+
+
+def test_replay_conflicting_duplicate_keeps_first_verified(tmp_path):
+    journal, manifest, entry = _tiny_journal(tmp_path)
+    append_jsonl(
+        journal.journal_path, dict(entry, attempts=9, artifact_digest="0" * 32)
+    )
+    completed = CheckpointJournal(str(tmp_path)).begin(manifest, resume=True)
+    # the artifact on disk can only match one digest: first verified wins
+    assert completed[0]["attempts"] == 1
+    assert completed[0]["artifact_digest"] == entry["artifact_digest"]
+
+
+def test_record_raw_adopts_bytes_verbatim(tmp_path):
+    journal, manifest, entry = _tiny_journal(tmp_path / "a")
+    with open(f"{journal.path}/{entry['artifact']}", "rb") as handle:
+        data = handle.read()
+    other = CheckpointJournal(str(tmp_path / "b"))
+    other.begin(manifest)
+    merged = other.record_raw(
+        0, data=data, entry={"input_digest": manifest["chunk_digests"][0]}
+    )
+    assert merged["artifact_digest"] == entry["artifact_digest"]
+    with open(f"{other.path}/{merged['artifact']}", "rb") as handle:
+        assert handle.read() == data
+
+
+# -- executor resolution (satellite: auto never picks the thread pool) -------
+
+
+def test_auto_executor_never_picks_thread_pool():
+    expected = "process" if fork_available() else "serial"
+    assert InferencePipeline._resolve_executor("auto", 4) == expected
+    assert InferencePipeline._resolve_executor("auto", 1) == "serial"
+    assert InferencePipeline._resolve_executor("thread", 4) == "thread"
+    assert InferencePipeline._resolve_executor("distributed", 1) == "distributed"
+    with pytest.raises(ConfigurationError):
+        InferencePipeline._resolve_executor("fancy", 2)
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_cli_parses_coordinate_command():
+    args = build_parser().parse_args(
+        [
+            "coordinate", "h2combustion", "--tolerance", "1e-2",
+            "--chunk-size", "16", "--expect-workers", "2",
+            "--lease-ttl", "5", "--checkpoint", "/tmp/ckpt",
+        ]
+    )
+    assert args.command == "coordinate"
+    assert args.expect_workers == 2
+    assert args.lease_ttl == 5.0
+    assert args.shard_size == 1
+
+
+def test_cli_parses_worker_command():
+    args = build_parser().parse_args(
+        [
+            "worker", "h2combustion", "--tolerance", "1e-2",
+            "--chunk-size", "16", "--connect", "127.0.0.1:5000",
+        ]
+    )
+    assert args.command == "worker"
+    assert args.connect == "127.0.0.1:5000"
+
+
+# -- coordinator + worker integration ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def distrib_setup(trained_spectral_mlp, tmp_path_factory):
+    x = np.linspace(0, 2 * np.pi, 32)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+    planner = TolerancePlanner(ErrorFlowAnalyzer(trained_spectral_mlp))
+    plan = planner.plan(1e-2, norm="linf", quant_fraction=0.5)
+    pipeline = InferencePipeline(trained_spectral_mlp, SZCompressor(), plan)
+    serial_dir = tmp_path_factory.mktemp("serial-journal")
+    serial = pipeline.execute_chunked(
+        fields, chunk_size=8, chunk_axis=1, workers=1, checkpoint=str(serial_dir)
+    )
+    chunks = split_chunks(fields, 8, 1)
+    digests = [digest_array(chunk) for chunk in chunks]
+    manifest = pipeline._checkpoint_manifest(chunks, 8, 1, digests)
+    return pipeline, fields, serial, manifest, str(serial_dir)
+
+
+def _run_distributed(
+    pipeline,
+    fields,
+    *,
+    n_workers=2,
+    chaos_specs=None,
+    checkpoint=None,
+    resume=False,
+    lease_ttl=3.0,
+    worker_wait=15.0,
+    expect_workers=0,
+    worker_checkpoints=None,
+):
+    """Distributed run with in-thread worker agents launched on start."""
+    summaries, errors, threads = [], [], []
+
+    def launch(coordinator):
+        host, port = coordinator.address
+
+        def run_one(index):
+            spec = (chaos_specs or {}).get(index)
+            try:
+                agent = ShardWorker(
+                    pipeline,
+                    fields,
+                    8,
+                    chunk_axis=1,
+                    name=f"w{index}",
+                    workers=2,
+                    connect_retry=FAST_CONNECT,
+                    chaos=ChaosInjector.from_spec(spec) if spec else None,
+                    checkpoint=(worker_checkpoints or {}).get(index),
+                )
+                summaries.append(agent.run(host, port))
+            except Exception as exc:  # surfaced by the asserting test
+                errors.append(exc)
+
+        for index in range(n_workers):
+            thread = threading.Thread(target=run_one, args=(index,), daemon=True)
+            threads.append(thread)
+            thread.start()
+
+    config = DistribConfig(
+        port=0,
+        lease_ttl=lease_ttl,
+        worker_wait=worker_wait,
+        expect_workers=expect_workers,
+        on_start=launch,
+    )
+    result = pipeline.execute_chunked(
+        fields,
+        chunk_size=8,
+        chunk_axis=1,
+        executor="distributed",
+        distrib=config,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    # the coordinator's shutdown drain sends every agent home; collect
+    # their summaries before asserting on them
+    for thread in threads:
+        thread.join(timeout=15.0)
+    assert not any(thread.is_alive() for thread in threads)
+    return result, summaries, errors
+
+
+@needs_fork
+def test_distributed_matches_serial(distrib_setup):
+    pipeline, fields, serial, _, _ = distrib_setup
+    result, summaries, errors = _run_distributed(
+        pipeline, fields, n_workers=2, expect_workers=2
+    )
+    assert errors == []
+    assert np.array_equal(result.outputs, serial.outputs)
+    assert np.array_equal(result.reference_outputs, serial.reference_outputs)
+    distrib = result.extra["distrib"]
+    assert distrib["outcome"] == "complete"
+    assert distrib["workers_joined"] == 2
+    assert distrib["results"]["accepted"] == 4
+    assert distrib["results"]["rejected"] == 0
+    assert result.extra["chunked"]["requested_executor"] == "distributed"
+    assert result.extra["chunked"]["executor"] == "distributed"
+    assert len(summaries) == 2
+    assert sum(s["chunks_computed"] for s in summaries) == 4
+    assert all(s["drained"] for s in summaries)
+    assert result.qoi_error("linf", relative=False) <= pipeline.plan.qoi_tolerance
+
+
+@needs_fork
+def test_distributed_disconnect_chaos_reassigns(distrib_setup):
+    """A partitioned worker reconnects; its lost lease is reassigned and
+    every chunk still completes exactly once."""
+    pipeline, fields, serial, _, _ = distrib_setup
+    result, summaries, errors = _run_distributed(
+        pipeline,
+        fields,
+        n_workers=2,
+        expect_workers=2,
+        chaos_specs={0: "disconnect@1", 1: "disconnect@1"},
+    )
+    assert errors == []
+    assert np.array_equal(result.outputs, serial.outputs)
+    distrib = result.extra["distrib"]
+    assert distrib["outcome"] == "complete"
+    assert distrib["results"]["accepted"] == 4
+    # at least one connection died holding a lease -> expiry + re-lease
+    assert distrib["leases_expired"] >= 1
+    assert distrib["leases_reassigned"] >= 1
+    assert sum(s["partitions"] for s in summaries) >= 1
+    assert sum(s["reconnects"] for s in summaries) >= 1
+
+
+@needs_fork
+def test_distributed_refuses_mismatched_plan_then_degrades(distrib_setup):
+    """A worker with a different plan is refused at handshake; with no
+    usable workers the coordinator degrades to the local pool."""
+    pipeline, fields, serial, _, _ = distrib_setup
+    planner = TolerancePlanner(ErrorFlowAnalyzer(pipeline.model))
+    other_plan = planner.plan(5e-2, norm="linf", quant_fraction=0.5)
+    other = InferencePipeline(pipeline.model, SZCompressor(), other_plan)
+
+    refused = []
+
+    def launch(coordinator):
+        host, port = coordinator.address
+
+        def run_one():
+            agent = ShardWorker(
+                other, fields, 8, chunk_axis=1, name="intruder",
+                workers=2, connect_retry=FAST_CONNECT,
+            )
+            with pytest.raises(IntegrityError, match="refused"):
+                agent.run(host, port)
+            refused.append(True)
+
+        threading.Thread(target=run_one, daemon=True).start()
+
+    config = DistribConfig(port=0, lease_ttl=1.0, worker_wait=1.5, on_start=launch)
+    result = pipeline.execute_chunked(
+        fields, chunk_size=8, chunk_axis=1, executor="distributed", distrib=config
+    )
+    assert refused == [True]
+    distrib = result.extra["distrib"]
+    assert distrib["outcome"] == "no_workers"
+    assert distrib["handshake_refused"] == 1
+    # degradation finished the run locally, bit-identical anyway
+    assert np.array_equal(result.outputs, serial.outputs)
+    assert "supervision" in result.extra
+
+
+@needs_fork
+def test_distributed_no_workers_degrades_local(distrib_setup):
+    pipeline, fields, serial, _, _ = distrib_setup
+    config = DistribConfig(port=0, lease_ttl=1.0, worker_wait=0.3)
+    result = pipeline.execute_chunked(
+        fields, chunk_size=8, chunk_axis=1, executor="distributed", distrib=config
+    )
+    assert result.extra["distrib"]["outcome"] == "no_workers"
+    assert np.array_equal(result.outputs, serial.outputs)
+
+
+def test_distributed_rejects_chaos_and_stray_config(distrib_setup):
+    pipeline, fields, _, _, _ = distrib_setup
+    with pytest.raises(ConfigurationError, match="worker processes"):
+        pipeline.execute_chunked(
+            fields, chunk_size=8, chunk_axis=1, executor="distributed",
+            chaos=ChaosInjector.from_spec("kill@0"),
+        )
+    with pytest.raises(ConfigurationError, match="distributed"):
+        pipeline.execute_chunked(
+            fields, chunk_size=8, chunk_axis=1, distrib=DistribConfig()
+        )
+
+
+def test_requested_executor_recorded(distrib_setup):
+    pipeline, fields, _, _, _ = distrib_setup
+    result = pipeline.execute_chunked(
+        fields, chunk_size=8, chunk_axis=1, workers=2, executor="auto"
+    )
+    chunked = result.extra["chunked"]
+    assert chunked["requested_executor"] == "auto"
+    assert chunked["executor"] == ("process" if fork_available() else "serial")
+
+
+def test_straggler_dedup_and_result_validation(distrib_setup, tmp_path):
+    """Raw-socket client: an expired lease is re-granted (straggler
+    re-lease), duplicates dedup first-digest-wins, and tampered or
+    mixed-plan results are rejected without consuming the chunk."""
+    pipeline, fields, _, manifest, _ = distrib_setup
+    chunks = split_chunks(fields, 8, 1)
+    digests = list(manifest["chunk_digests"])
+
+    # certified entries computed out-of-band (no network, no pool)
+    local = CheckpointJournal(str(tmp_path / "local"))
+    local.begin(manifest)
+    entries, artifacts = {}, {}
+    for index, chunk in enumerate(chunks):
+        result = pipeline.execute(chunk)
+        entries[index] = pipeline._journal_chunk(local, index, result, digests[index])
+        with open(f"{local.path}/{entries[index]['artifact']}", "rb") as handle:
+            artifacts[index] = handle.read()
+
+    coordinator = ShardCoordinator(
+        manifest,
+        weights=digest_model(pipeline.model),
+        config=DistribConfig(port=0, lease_ttl=0.4, worker_wait=30.0),
+    )
+    host, port = coordinator.start()
+    summary_box = {}
+    server = threading.Thread(
+        target=lambda: summary_box.update(summary=coordinator.serve()), daemon=True
+    )
+    server.start()
+
+    conn = FrameSocket(socket.create_connection((host, port)), role="worker")
+    conn.settimeout(5.0)
+    try:
+        conn.send(
+            msg_hello(
+                "straggler",
+                manifest["fingerprint"],
+                manifest_identity(manifest),
+                digest_model(pipeline.model),
+            )
+        )
+        welcome = conn.recv()
+        assert welcome["type"] == "welcome"
+
+        conn.send(msg_lease_request())
+        lease = conn.recv()
+        assert lease["type"] == "lease" and lease["chunks"] == [0]
+        time.sleep(3.0 * 0.4)  # never heartbeat: let the lease expire
+
+        conn.send(msg_lease_request())
+        release = conn.recv()
+        assert release["chunks"] == [0]  # straggler re-lease, same chunk
+
+        def submit(index, entry, data):
+            conn.send(
+                msg_result(release["lease"], index, entry, encode_artifact(data))
+            )
+            ack = conn.recv()
+            assert ack["type"] == "result_ack" and ack["chunk"] == index
+            return ack["status"]
+
+        assert submit(0, entries[0], artifacts[0]) == "accepted"
+        # byte-identical resubmission: harmless duplicate
+        assert submit(0, entries[0], artifacts[0]) == "duplicate"
+        # differing bytes for a certified chunk: first digest wins
+        forged = artifacts[0] + b"\x00"
+        conflicting = dict(entries[0], artifact_digest=digest_bytes(forged))
+        assert submit(0, conflicting, forged) == "conflict"
+        # declared digest disagrees with the bytes: tampered in transit
+        tampered = dict(entries[1], artifact_digest="0" * 32)
+        assert submit(1, tampered, artifacts[1]) == "rejected"
+        # wrong input digest: computed on different bytes (mixed plan)
+        stale = dict(entries[1], input_digest=digests[0])
+        assert submit(1, stale, artifacts[1]) == "rejected"
+        # valid submissions finish the run (results need no live lease)
+        for index in (1, 2, 3):
+            assert submit(index, entries[index], artifacts[index]) == "accepted"
+    finally:
+        conn.close()
+    server.join(timeout=10.0)
+    assert not server.is_alive()
+
+    summary = summary_box["summary"]
+    assert summary["outcome"] == "complete"
+    assert summary["completed_chunks"] == 4
+    assert summary["results"] == {
+        "accepted": 4, "duplicate": 1, "conflict": 1, "rejected": 2,
+    }
+    assert summary["leases_expired"] == 1
+    assert summary["leases_reassigned"] == 1
+
+
+def test_drain_before_completion_raises_drained_error(distrib_setup, tmp_path):
+    pipeline, fields, _, _, _ = distrib_setup
+    config = DistribConfig(
+        port=0,
+        lease_ttl=1.0,
+        worker_wait=30.0,
+        on_start=lambda c: c.request_drain("test drain"),
+    )
+    with pytest.raises(DrainedError, match="resume"):
+        pipeline.execute_chunked(
+            fields,
+            chunk_size=8,
+            chunk_axis=1,
+            executor="distributed",
+            distrib=config,
+            checkpoint=str(tmp_path / "ckpt"),
+        )
+
+
+@needs_fork
+def test_coordinator_resume_replays_merged_journal(distrib_setup, tmp_path):
+    """The merged journal is a first-class checkpoint: a new run resumes
+    from it, replaying every remote chunk without recomputing."""
+    pipeline, fields, serial, _, _ = distrib_setup
+    checkpoint = str(tmp_path / "merged")
+    first, _, errors = _run_distributed(
+        pipeline, fields, n_workers=2, expect_workers=2, checkpoint=checkpoint
+    )
+    assert errors == []
+    assert first.extra["distrib"]["outcome"] == "complete"
+
+    # simulate the coordinator dying after the run: resume from its journal
+    config = DistribConfig(port=0, lease_ttl=1.0, worker_wait=0.2)
+    resumed = pipeline.execute_chunked(
+        fields,
+        chunk_size=8,
+        chunk_axis=1,
+        executor="distributed",
+        distrib=config,
+        checkpoint=checkpoint,
+        resume=True,
+    )
+    assert resumed.extra["checkpoint"]["replayed_chunks"] == 4
+    assert resumed.extra["checkpoint"]["computed_chunks"] == 0
+    # nothing was pending, so no coordinator (and no workers) ran at all
+    assert "distrib" not in resumed.extra
+    assert np.array_equal(resumed.outputs, serial.outputs)
+    assert np.array_equal(resumed.reference_outputs, serial.reference_outputs)
+
+
+@needs_fork
+@settings(max_examples=4, deadline=None)
+@given(fault_chunk=st.integers(min_value=0, max_value=3))
+def test_merged_journal_matches_serial_under_partitions(
+    distrib_setup, fault_chunk
+):
+    """Property (satellite): wherever the partition lands, the merged
+    journal certifies the same computation as the serial journal —
+    same chunks, same input digests, identical replayed arrays."""
+    pipeline, fields, _, manifest, serial_dir = distrib_setup
+    workdir = tempfile.mkdtemp(prefix="repro-distrib-prop-")
+    try:
+        result, _, errors = _run_distributed(
+            pipeline,
+            fields,
+            n_workers=2,
+            expect_workers=2,
+            checkpoint=f"{workdir}/merged",
+            chaos_specs={
+                0: f"disconnect@{fault_chunk}",
+                1: f"disconnect@{fault_chunk}",
+            },
+            worker_checkpoints={0: f"{workdir}/w0", 1: f"{workdir}/w1"},
+        )
+        assert errors == []
+        assert result.extra["distrib"]["outcome"] == "complete"
+
+        merged = CheckpointJournal(f"{workdir}/merged")
+        merged_entries = merged.begin(manifest, resume=True)
+        reference = CheckpointJournal(serial_dir)
+        serial_entries = reference.begin(manifest, resume=True)
+        assert set(merged_entries) == set(serial_entries) == {0, 1, 2, 3}
+        for index in range(4):
+            ours, theirs = merged_entries[index], serial_entries[index]
+            assert ours["input_digest"] == theirs["input_digest"]
+            mine, ref = merged.load(ours), reference.load(theirs)
+            assert np.array_equal(mine["outputs"], ref["outputs"])
+            assert np.array_equal(
+                mine["reference_outputs"], ref["reference_outputs"]
+            )
+            assert mine["blob_bytes"] == ref["blob_bytes"]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

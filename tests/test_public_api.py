@@ -27,6 +27,8 @@ _SUBPACKAGES = (
     "repro.models",
     "repro.perf",
     "repro.io",
+    "repro.resilience",
+    "repro.distrib",
 )
 
 
