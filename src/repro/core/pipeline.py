@@ -690,6 +690,7 @@ class InferencePipeline:
 
                 def run_chunk(index: int) -> PipelineResult:
                     chunk = chunks[index]
+                    started = time.perf_counter()
                     with tracer.span(
                         "pipeline.chunk", rows=int(chunk.shape[chunk_axis])
                     ):
@@ -701,7 +702,11 @@ class InferencePipeline:
                         # only in-flight work, never finished chunks
                         with journal_lock:
                             self._journal_chunk(
-                                journal, index, result, digests[index]
+                                journal,
+                                index,
+                                result,
+                                digests[index],
+                                seconds=time.perf_counter() - started,
                             )
                     return result
 
@@ -752,6 +757,12 @@ class InferencePipeline:
             extra["supervision"] = supervision
         if distrib_summary is not None:
             extra["distrib"] = distrib_summary
+            if tracer.enabled:
+                # the same per-chunk timeline `repro trace analyze` builds
+                # from an exported trace, available without the export
+                from ..obs.timeline import analyze_spans
+
+                extra["timeline"] = analyze_spans(tracer.to_dicts())
         if journal is not None:
             extra["checkpoint"] = {
                 "path": journal.path,
@@ -822,12 +833,17 @@ class InferencePipeline:
         digest: str,
         attempts: int = 1,
         quarantined: bool = False,
+        seconds: "float | None" = None,
     ) -> dict:
         """Persist one certified-complete chunk (artifact + journal line).
 
         Returns the journal entry as written — the distributed worker
         resends exactly this entry (plus the journaled artifact bytes)
         over the wire, so local and merged journals agree bit for bit.
+        ``seconds`` is the chunk's end-to-end wall time as measured
+        where it ran (it includes retries and injected slowness the
+        per-stage timings exclude — the signal straggler detection
+        needs).
         """
         entry = {
             "input_digest": digest,
@@ -846,6 +862,8 @@ class InferencePipeline:
             "integrity": result.extra.get("integrity", {}),
             "audit": result.extra.get("audit"),
         }
+        if seconds is not None:
+            entry["task_seconds"] = float(seconds)
         return journal.record(
             index,
             outputs=result.outputs,
@@ -1018,7 +1036,12 @@ class InferencePipeline:
             results[index] = result
             if journal is not None:
                 self._journal_chunk(
-                    journal, index, result, digests[index], attempts=outcome.attempts
+                    journal,
+                    index,
+                    result,
+                    digests[index],
+                    attempts=outcome.attempts,
+                    seconds=outcome.seconds,
                 )
 
         pool = SupervisedPool(
@@ -1041,6 +1064,7 @@ class InferencePipeline:
                 attempts=outcome.attempts,
                 reason=outcome.error,
             )
+            started = time.perf_counter()
             result = self.execute(
                 chunks[index],
                 samples_from_fields=samples_from_fields,
@@ -1055,6 +1079,7 @@ class InferencePipeline:
                     digests[index],
                     attempts=outcome.attempts,
                     quarantined=True,
+                    seconds=time.perf_counter() - started,
                 )
 
         summary = report.summary()

@@ -15,10 +15,19 @@ Message flow (worker-initiated, one request in flight per worker)::
       | -- LEASE_REQUEST -->            |
       | <-- LEASE / WAIT / DRAIN --     |
       | -- HEARTBEAT(lease) -->         |    one-way, no reply
+      | -- METRICS(delta, spans) -->    |    one-way, no reply
       | -- RESULT(chunk, entry) -->     |
       | <-- RESULT_ACK(status) --       |
       | ...                             |
       | <-- DRAIN --                    |    run complete / shutting down
+
+Trace context rides the same frames: HELLO carries the worker's local
+context (diagnostic), WELCOME and LEASE carry the coordinator's
+``{"trace_id", "parent_span_id"}`` so worker-side spans parent under the
+coordinator's serve span, and RESULT/METRICS carry finished worker span
+dicts back for :meth:`~repro.obs.trace.Tracer.merge_remote` to stitch
+into the coordinator's trace.  All telemetry fields are optional —
+an untraced peer simply omits them.
 
 The HELLO carries the plan fingerprint, the manifest digest (fingerprint
 + per-chunk input digests) and the model-weights digest, so two peers
@@ -39,12 +48,14 @@ from __future__ import annotations
 import base64
 import binascii
 import json
+import os
 import socket
 import struct
 import threading
 
 from ..exceptions import ProtocolError
 from ..obs import get_metrics, json_default
+from ..obs.metrics import encode_counter_delta
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -61,13 +72,16 @@ __all__ = [
     "msg_lease",
     "msg_wait",
     "msg_heartbeat",
+    "msg_metrics",
     "msg_result",
     "msg_result_ack",
     "msg_drain",
+    "registry_token",
 ]
 
 #: bump on any incompatible message-shape change; HELLO/WELCOME carry it
-PROTOCOL_VERSION = 1
+#: (v2: METRICS frames + optional trace/spans telemetry fields)
+PROTOCOL_VERSION = 2
 
 _LENGTH = struct.Struct("!I")
 
@@ -84,11 +98,23 @@ _MESSAGE_TYPES = frozenset(
         "lease",
         "wait",
         "heartbeat",
+        "metrics",
         "result",
         "result_ack",
         "drain",
     }
 )
+
+
+def registry_token() -> str:
+    """Identity of this process's live metrics registry.
+
+    Stamped on METRICS frames so a receiver can recognise a delta that
+    originated from its *own* registry (worker threads sharing the
+    process-global registry in tests) and skip merging it — a registry's
+    delta folded back into itself double-counts every series.
+    """
+    return f"{os.getpid()}:{id(get_metrics())}"
 
 
 def encode_artifact(data: bytes) -> str:
@@ -243,9 +269,13 @@ class FrameSocket:
 
 
 def msg_hello(
-    worker: str, fingerprint: dict, manifest_digest: str, weights: "str | None"
+    worker: str,
+    fingerprint: dict,
+    manifest_digest: str,
+    weights: "str | None",
+    trace: "dict | None" = None,
 ) -> dict:
-    return {
+    message = {
         "type": "hello",
         "proto": PROTOCOL_VERSION,
         "worker": worker,
@@ -253,16 +283,24 @@ def msg_hello(
         "manifest_digest": manifest_digest,
         "weights": weights,
     }
+    if trace:
+        message["trace"] = trace
+    return message
 
 
-def msg_welcome(coordinator: str, n_chunks: int, lease_ttl: float) -> dict:
-    return {
+def msg_welcome(
+    coordinator: str, n_chunks: int, lease_ttl: float, trace: "dict | None" = None
+) -> dict:
+    message = {
         "type": "welcome",
         "proto": PROTOCOL_VERSION,
         "coordinator": coordinator,
         "n_chunks": int(n_chunks),
         "lease_ttl": float(lease_ttl),
     }
+    if trace:
+        message["trace"] = trace
+    return message
 
 
 def msg_refuse(reason: str) -> dict:
@@ -273,13 +311,18 @@ def msg_lease_request() -> dict:
     return {"type": "lease_request"}
 
 
-def msg_lease(lease_id: int, chunks: "list[int]", ttl: float) -> dict:
-    return {
+def msg_lease(
+    lease_id: int, chunks: "list[int]", ttl: float, trace: "dict | None" = None
+) -> dict:
+    message = {
         "type": "lease",
         "lease": int(lease_id),
         "chunks": [int(c) for c in chunks],
         "ttl": float(ttl),
     }
+    if trace:
+        message["trace"] = trace
+    return message
 
 
 def msg_wait(seconds: float) -> dict:
@@ -290,14 +333,43 @@ def msg_heartbeat(lease_id: int) -> dict:
     return {"type": "heartbeat", "lease": int(lease_id)}
 
 
-def msg_result(lease_id: int, chunk: int, entry: dict, artifact: str) -> dict:
-    return {
+def msg_metrics(
+    worker: str,
+    delta: "dict | None" = None,
+    spans: "list | None" = None,
+    registry: "str | None" = None,
+) -> dict:
+    """One-way worker telemetry push: counter deltas plus finished spans.
+
+    ``registry`` identifies the sending process's metrics registry
+    (``"pid:objectid"``); the coordinator skips merging deltas that came
+    from its *own* registry — the in-process test harness runs workers as
+    threads sharing the registry, and folding a shared registry's delta
+    back into itself would double-count.
+    """
+    message: dict = {"type": "metrics", "worker": worker}
+    if delta:
+        message["delta"] = encode_counter_delta(delta)
+    if spans:
+        message["spans"] = spans
+    if registry:
+        message["registry"] = registry
+    return message
+
+
+def msg_result(
+    lease_id: int, chunk: int, entry: dict, artifact: str, spans: "list | None" = None
+) -> dict:
+    message = {
         "type": "result",
         "lease": int(lease_id),
         "chunk": int(chunk),
         "entry": entry,
         "artifact": artifact,
     }
+    if spans:
+        message["spans"] = spans
+    return message
 
 
 def msg_result_ack(chunk: int, status: str) -> dict:

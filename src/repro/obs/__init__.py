@@ -42,7 +42,16 @@ from .metrics import (
     NullMetrics,
     render_metrics_json,
 )
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, json_default, read_jsonl
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    json_default,
+    new_span_id,
+    new_trace_id,
+    read_jsonl,
+)
 from .registry import RunRegistry
 from .audit import (
     NULL_AUDITOR,
@@ -90,6 +99,8 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "json_default",
+    "new_span_id",
+    "new_trace_id",
     "read_jsonl",
     "render_metrics_json",
     "set_auditor",

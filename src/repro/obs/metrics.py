@@ -27,8 +27,51 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "decode_counter_delta",
+    "encode_counter_delta",
     "render_metrics_json",
 ]
+
+
+def encode_counter_delta(delta: dict) -> list:
+    """JSON-safe wire form of a :meth:`MetricsRegistry.counter_delta`.
+
+    Deltas key each series by a tuple of label pairs — picklable for the
+    fork seam, but not JSON-encodable for the distributed wire. The wire
+    form is a flat row list: ``[{"name", "labels": [[k, v], ...],
+    "value"}, ...]``.
+    """
+    return [
+        {"name": name, "labels": [list(pair) for pair in key], "value": change}
+        for name, series in delta.items()
+        for key, change in series.items()
+    ]
+
+
+def decode_counter_delta(payload) -> dict:
+    """Inverse of :func:`encode_counter_delta`; drops malformed rows.
+
+    Rows arrive over the network, so anything mis-shapen is evidence to
+    skip, not an exception: a telemetry frame must never be able to take
+    the coordinator down.
+    """
+    delta: dict = {}
+    if not isinstance(payload, list):
+        return delta
+    for row in payload:
+        if not isinstance(row, dict):
+            continue
+        name = row.get("name")
+        value = row.get("value")
+        labels = row.get("labels", [])
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            continue
+        try:
+            key = tuple((str(k), str(v)) for k, v in labels)
+        except (TypeError, ValueError):
+            continue
+        delta.setdefault(name, {})[key] = float(value)
+    return delta
 
 
 class Counter:
@@ -172,11 +215,17 @@ class MetricsRegistry:
 
     def __init__(self, histogram_cap: int | None = Histogram.DEFAULT_CAP) -> None:
         self._series: dict[str, dict] = {}
+        self._help: dict[str, str] = {}
         self.histogram_cap = histogram_cap
         # Guards series creation so worker threads (parallel chunked
         # execution) can request instruments concurrently.  Increments on
         # the instruments themselves stay lock-free.
         self._register_lock = threading.Lock()
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric name (idempotent)."""
+        with self._register_lock:
+            self._help[name] = str(help_text)
 
     def _instrument(self, kind: str, factory, name: str, labels: dict):
         with self._register_lock:
@@ -274,11 +323,18 @@ class MetricsRegistry:
         return out
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (histograms as summaries)."""
+        """Prometheus text exposition format (histograms as summaries).
+
+        Per the exposition grammar each metric name gets its ``# HELP``
+        and ``# TYPE`` header exactly once, before all of its series —
+        regardless of how many label sets the name carries.
+        """
         lines: list[str] = []
         for name in sorted(self._series):
             entry = self._series[name]
             kind = entry["kind"]
+            help_text = self._help.get(name) or f"repro runtime metric {name}"
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
             for key in sorted(entry["series"]):
                 instrument = entry["series"][key]
@@ -296,6 +352,11 @@ class MetricsRegistry:
     def render(self) -> str:
         """Human-readable summary table of every series."""
         return render_metrics_json(self.to_json())
+
+
+def _escape_help(text: str) -> str:
+    # HELP values escape backslash and newline per the exposition format
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:
@@ -362,6 +423,9 @@ class NullMetrics:
     """API-compatible no-op registry installed while observability is off."""
 
     enabled = False
+
+    def describe(self, name: str, help_text: str) -> None:
+        return None
 
     def counter(self, name: str, **labels) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -1,0 +1,179 @@
+"""Live telemetry endpoint: a stdlib HTTP thread serving /metrics,
+/status and /healthz.
+
+The coordinator (or any long-running command) starts a
+:class:`MetricsServer` on a daemon thread; scrapers poll ``/metrics``
+for the Prometheus exposition of the process-global registry,
+``/status`` for a caller-supplied JSON document (the coordinator wires
+its live lease table here) and ``/healthz`` for a liveness probe.  No
+third-party dependency: ``http.server`` + ``ThreadingHTTPServer`` only,
+and the handler never raises into the data path — telemetry failures
+degrade to 500 responses.
+
+``repro serve-metrics`` reuses the same server standalone to re-serve a
+saved metrics export (JSON or Prometheus text) after a run has ended.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from . import get_metrics
+from .metrics import _label_key, _label_suffix
+from .trace import json_default
+
+__all__ = ["MetricsServer", "prometheus_from_json_export"]
+
+
+def prometheus_from_json_export(payload: dict) -> str:
+    """Render a saved :meth:`MetricsRegistry.to_json` document as
+    Prometheus exposition text.
+
+    Lets ``repro serve-metrics`` serve a post-mortem ``--metrics`` JSON
+    file on the same ``/metrics`` contract a live coordinator exposes.
+    Histogram summaries are re-emitted as summary quantile series from
+    the exported percentiles.
+    """
+    rows = payload.get("metrics", [])
+    by_name: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for row in rows:
+        name = row.get("name")
+        if not name:
+            continue
+        by_name.setdefault(name, []).append(row)
+        kinds[name] = row.get("kind", "gauge")
+    lines: list[str] = []
+    for name in sorted(by_name):
+        kind = kinds[name]
+        lines.append(f"# HELP {name} repro runtime metric {name}")
+        lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
+        for row in by_name[name]:
+            key = _label_key(row.get("labels", {}))
+            if kind == "histogram":
+                for quantile, field in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                    if field in row:
+                        labels = key + (("quantile", f"{quantile}"),)
+                        lines.append(f"{name}{_label_suffix(labels)} {row[field]}")
+                lines.append(f"{name}_sum{_label_suffix(key)} {row.get('sum', 0.0)}")
+                lines.append(f"{name}_count{_label_suffix(key)} {row.get('count', 0)}")
+            else:
+                lines.append(f"{name}{_label_suffix(key)} {row.get('value', 0.0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # the server instance stuffs itself onto the handler class via
+    # ThreadingHTTPServer attribute lookup (self.server)
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr spam
+        return None
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self.server.owner.render_metrics().encode()
+                self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/status":
+                document = self.server.owner.render_status()
+                body = json.dumps(document, sort_keys=True, default=json_default).encode()
+                self._reply(200, body, "application/json")
+            elif path == "/healthz":
+                self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+            else:
+                self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+        except Exception as exc:  # telemetry must not crash the run
+            try:
+                self._reply(500, f"error: {exc}\n".encode(), "text/plain; charset=utf-8")
+            except OSError:
+                pass
+
+
+class MetricsServer:
+    """Daemon-thread HTTP server exposing live metrics and status.
+
+    ``metrics_fn`` defaults to rendering the process-global registry at
+    request time (so it tracks whatever ``obs.enable`` installed);
+    ``status_fn`` supplies the ``/status`` JSON document and defaults to
+    an empty object.  ``port=0`` binds an ephemeral port; the bound
+    address is available as :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_fn=None,
+        status_fn=None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._metrics_fn = metrics_fn
+        self._status_fn = status_fn
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- handler callbacks -----------------------------------------------
+    def render_metrics(self) -> str:
+        if self._metrics_fn is not None:
+            return self._metrics_fn()
+        return get_metrics().to_prometheus()
+
+    def render_status(self) -> dict:
+        if self._status_fn is not None:
+            return self._status_fn()
+        return {}
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._httpd is None:
+            return (self.host, self.port)
+        return self._httpd.server_address[:2]
+
+    def start(self) -> tuple[str, int]:
+        if self._httpd is not None:
+            return self.address
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self
+        # serve_forever checks its shutdown flag once per poll_interval,
+        # and stop() blocks for the remainder of the current interval —
+        # the coordinator calls stop() inside its run-resolution path,
+        # so a coarse interval here is wall time billed to every
+        # distributed run.  50 idle wakes/s costs ~nothing.
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.02},
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

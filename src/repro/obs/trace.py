@@ -16,6 +16,7 @@ and no allocation.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 
@@ -25,8 +26,26 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "json_default",
+    "new_span_id",
+    "new_trace_id",
     "read_jsonl",
 ]
+
+
+def new_trace_id() -> str:
+    """Random 128-bit trace id as 32 lowercase hex chars (W3C traceparent)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """Random 64-bit span id as 16 lowercase hex chars.
+
+    Random (rather than sequential) ids are what make cross-process trace
+    stitching possible: a forked pool child and a TCP worker can both mint
+    ids without coordination, and :meth:`Tracer.merge_remote` can
+    deduplicate re-shipped spans by id alone.
+    """
+    return os.urandom(8).hex()
 
 
 def json_default(value):
@@ -59,6 +78,7 @@ class Span:
 
     __slots__ = (
         "name",
+        "trace_id",
         "span_id",
         "parent_id",
         "depth",
@@ -69,8 +89,18 @@ class Span:
         "_t0",
     )
 
-    def __init__(self, name: str, span_id: int, parent_id: int | None, depth: int, tracer: "Tracer", attributes: dict) -> None:
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str | None,
+        depth: int,
+        tracer: "Tracer | None",
+        attributes: dict,
+        trace_id: str = "",
+    ) -> None:
         self.name = str(name)
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.depth = depth
@@ -92,18 +122,51 @@ class Span:
 
     def __exit__(self, *exc_info) -> None:
         self.duration_s = time.perf_counter() - self._t0
-        self._tracer._finish(self)
+        if self._tracer is not None:
+            self._tracer._finish(self)
 
     def to_dict(self) -> dict:
         return {
+            "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            # explicit root marker: a re-imported trace keeps the
+            # "genuine root" vs "parent span lives elsewhere" distinction
+            # even if a reader drops null-valued fields
+            "root": self.parent_id is None,
             "name": self.name,
             "depth": self.depth,
             "start_unix": self.start_unix,
             "duration_s": self.duration_s,
             "attributes": self.attributes,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict, tracer: "Tracer | None" = None) -> "Span":
+        """Rebuild a finished span from its :meth:`to_dict` form.
+
+        The inverse of the JSONL export: ``to_dict`` → ``json`` →
+        ``from_dict`` round-trips every structural field (ids, parent
+        link, root flag, timing, attributes).  Used by
+        :meth:`Tracer.merge_remote` to adopt spans shipped over the fork
+        seam or the distrib wire.
+        """
+        span = cls(
+            payload.get("name", "?"),
+            span_id=str(payload["span_id"]),
+            parent_id=(
+                None
+                if payload.get("parent_id") is None or payload.get("root")
+                else str(payload["parent_id"])
+            ),
+            depth=int(payload.get("depth", 0)),
+            tracer=tracer,
+            attributes=dict(payload.get("attributes") or {}),
+            trace_id=str(payload.get("trace_id") or ""),
+        )
+        span.start_unix = float(payload.get("start_unix") or 0.0)
+        span.duration_s = float(payload.get("duration_s") or 0.0)
+        return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, {self.attributes})"
@@ -125,12 +188,18 @@ class Tracer:
     #: computation (the NullTracer reports False)
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str | None = None, remote_context: dict | None = None) -> None:
         self.finished: list[Span] = []
         self.roots: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._next_id = 1
+        self._remote_context = Tracer.extract(remote_context) if remote_context else None
+        if trace_id is None and self._remote_context is not None:
+            trace_id = self._remote_context["trace_id"]
+        self.trace_id = trace_id or new_trace_id()
+        #: every span id this tracer has minted or adopted — the dedup set
+        #: merge_remote consults so a span shipped twice lands once
+        self._seen_ids: set[str] = set()
 
     def _stack_for_thread(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -138,26 +207,149 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **attributes) -> Span:
-        """Open a new span as a child of the current one (context manager)."""
+    def span(self, name: str, *, remote_parent: dict | None = None, **attributes) -> Span:
+        """Open a new span as a child of the current one (context manager).
+
+        ``remote_parent`` (a context from :meth:`inject`/:meth:`extract`)
+        parents a span under work happening in *another* process or
+        thread when this thread's local stack is empty — the seam that
+        stitches coordinator connection threads, TCP workers and forked
+        pool children into one trace.  A non-empty local stack wins: the
+        span nests where it actually runs.
+        """
         stack = self._stack_for_thread()
         parent = stack[-1] if stack else None
-        with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
+        if parent is not None:
+            parent_id = parent.span_id
+            trace_id = parent.trace_id or self.trace_id
+            depth = parent.depth + 1
+            local_root = False
+        else:
+            context = remote_parent if remote_parent is not None else self._remote_context
+            context = Tracer.extract(context) if context else None
+            parent_id = context["parent_span_id"] if context else None
+            trace_id = (context["trace_id"] if context else "") or self.trace_id
+            depth = 0
+            local_root = True
         span = Span(
             name,
-            span_id=span_id,
-            parent_id=None if parent is None else parent.span_id,
-            depth=0 if parent is None else parent.depth + 1,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            depth=depth,
             tracer=self,
             attributes=attributes,
+            trace_id=trace_id,
         )
-        if parent is None:
-            with self._lock:
+        with self._lock:
+            self._seen_ids.add(span.span_id)
+            if local_root:
                 self.roots.append(span)
         stack.append(span)
         return span
+
+    # -- context propagation ---------------------------------------------
+    def inject(self, span: Span | None = None) -> dict:
+        """Serializable trace context for handing work to another process.
+
+        Returns ``{"trace_id", "parent_span_id"}`` anchored at ``span``
+        (default: this thread's current span, falling back to the remote
+        context this tracer was constructed with).  Attach it to a frame
+        or fork seam and rebuild the link on the far side via
+        ``Tracer(remote_context=ctx)`` or ``span(..., remote_parent=ctx)``.
+        """
+        target = span if span is not None else self.current()
+        if target is not None:
+            return {"trace_id": target.trace_id or self.trace_id, "parent_span_id": target.span_id}
+        if self._remote_context is not None:
+            return dict(self._remote_context)
+        return {"trace_id": self.trace_id, "parent_span_id": None}
+
+    @staticmethod
+    def extract(carrier: dict | None) -> dict | None:
+        """Validate a trace context from a frame ``trace`` field.
+
+        Accepts either the bare context or a message carrying it under a
+        ``"trace"`` key; returns ``{"trace_id", "parent_span_id"}`` or
+        ``None`` when absent or malformed (never raises — telemetry must
+        not take down the data path).
+        """
+        if not isinstance(carrier, dict):
+            return None
+        context = carrier.get("trace", carrier) if "trace" in carrier else carrier
+        if not isinstance(context, dict):
+            return None
+        trace_id = context.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = context.get("parent_span_id")
+        if parent is not None and not isinstance(parent, str):
+            return None
+        return {"trace_id": trace_id, "parent_span_id": parent}
+
+    def merge_remote(self, span_dicts: list, parent: Span | None = None) -> list:
+        """Adopt spans shipped from another tracer (fork child, TCP worker).
+
+        Spans are rebuilt via :meth:`Span.from_dict` and appended to
+        :attr:`finished`; ids already known to this tracer are skipped, so
+        re-shipping (worker retries, shared-process test harnesses where
+        worker threads share the global tracer) cannot duplicate spans.
+
+        With ``parent`` given, every span in the batch whose parent is not
+        *also in the batch* is reparented under it and rewritten onto its
+        trace id — the fork-seam contract: a pool child's root spans land
+        under the parent's per-task span.  With ``parent=None`` the spans
+        keep their shipped parent links (the distrib wire contract: the
+        worker already parented them via the context carried on frames).
+
+        Returns the list of newly adopted spans.
+        """
+        if not span_dicts:
+            return []
+        batch_ids = set()
+        for payload in span_dicts:
+            if isinstance(payload, dict) and payload.get("span_id"):
+                batch_ids.add(str(payload["span_id"]))
+        with self._lock:
+            known = set(self._seen_ids)
+        adopted: list[Span] = []
+        ordered = sorted(
+            (p for p in span_dicts if isinstance(p, dict) and p.get("span_id")),
+            key=lambda p: float(p.get("start_unix") or 0.0),
+        )
+        for payload in ordered:
+            span_id = str(payload["span_id"])
+            if span_id in known:
+                continue
+            known.add(span_id)
+            try:
+                span = Span.from_dict(payload, tracer=self)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if parent is not None and (span.parent_id is None or span.parent_id not in batch_ids):
+                span.parent_id = parent.span_id
+                span.trace_id = parent.trace_id or self.trace_id
+            elif not span.trace_id:
+                span.trace_id = self.trace_id
+            adopted.append(span)
+        with self._lock:
+            for span in adopted:
+                self._seen_ids.add(span.span_id)
+                self.finished.append(span)
+                if span.parent_id is None:
+                    self.roots.append(span)
+        return adopted
+
+    def dicts_since(self, cursor: int) -> tuple[list, int]:
+        """Exported dicts of spans finished since ``cursor``, plus the new cursor.
+
+        The shipping primitive for incremental span transport: a worker
+        keeps a cursor into :attr:`finished` and attaches only the fresh
+        tail to each outgoing frame.
+        """
+        with self._lock:
+            fresh = list(self.finished[cursor:])
+            new_cursor = len(self.finished)
+        return [span.to_dict() for span in fresh], new_cursor
 
     def current(self) -> Span | None:
         """The innermost span whose ``with`` block is active, if any."""
@@ -209,7 +401,7 @@ class Tracer:
         ``min_fraction`` prunes children consuming less than that share
         of their parent (flame-graph style focus on the hot path).
         """
-        by_parent: dict[int | None, list[Span]] = {}
+        by_parent: dict[str | None, list[Span]] = {}
         for span in self.finished:
             by_parent.setdefault(span.parent_id, []).append(span)
         lines: list[str] = []
@@ -267,12 +459,26 @@ class NullTracer:
     enabled = False
     finished: tuple = ()
     roots: tuple = ()
+    trace_id = ""
 
-    def span(self, name: str, **attributes) -> _NullSpan:
+    def span(self, name: str, *, remote_parent: dict | None = None, **attributes) -> _NullSpan:
         return _NULL_SPAN
 
     def current(self) -> None:
         return None
+
+    def inject(self, span=None) -> None:
+        return None
+
+    @staticmethod
+    def extract(carrier) -> None:
+        return None
+
+    def merge_remote(self, span_dicts, parent=None) -> list:
+        return []
+
+    def dicts_since(self, cursor: int) -> tuple[list, int]:
+        return [], 0
 
     def find(self, name: str) -> list:
         return []

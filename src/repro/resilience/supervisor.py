@@ -87,6 +87,10 @@ class TaskOutcome:
     quarantined: bool = False
     error: "str | None" = None
     inline: bool = False
+    #: wall seconds of the successful attempt as measured where it ran
+    #: (inside the forked child for pool execution) — includes injected
+    #: chaos delays, which is what straggler analysis wants to see
+    seconds: "float | None" = None
 
 
 @dataclass
@@ -276,6 +280,7 @@ class SupervisedPool:
             last_error = None
             result = None
             while True:
+                started = time.perf_counter()
                 try:
                     result = self.task_fn(tasks[task_id])
                     if self.validate is not None:
@@ -288,7 +293,8 @@ class SupervisedPool:
                 attempt += 1
                 if last_error is None:
                     outcome = TaskOutcome(
-                        task_id=task_id, result=result, attempts=attempt, inline=True
+                        task_id=task_id, result=result, attempts=attempt, inline=True,
+                        seconds=time.perf_counter() - started,
                     )
                     report.outcomes[task_id] = outcome
                     if on_result is not None:
@@ -388,7 +394,7 @@ class SupervisedPool:
                     if kind == "start":
                         pass  # dispatch time already anchors the deadline
                     elif kind == "done":
-                        __, slot, task_id, result, delta = message
+                        __, slot, task_id, result, delta, child_spans, seconds = message
                         worker = workers.get(slot)
                         if worker is not None and worker.current is not None and (
                             worker.current[0] == task_id
@@ -406,15 +412,22 @@ class SupervisedPool:
                             fail_task(task_id, attempts, f"invalid result: {exc}")
                             continue
                         outcome = TaskOutcome(
-                            task_id=task_id, result=result, attempts=attempts
+                            task_id=task_id, result=result, attempts=attempts,
+                            seconds=seconds,
                         )
                         report.outcomes[task_id] = outcome
                         with tracer.span(
                             "supervisor.task", pool=self.label, task=task_id,
                             attempts=attempts, worker=slot,
-                        ):
+                        ) as task_span:
+                            if seconds is not None:
+                                task_span.set(task_seconds=seconds)
                             if on_result is not None:
                                 on_result(task_id, result, outcome)
+                        # adopt the child's spans under the task span so
+                        # the fork boundary disappears from the trace
+                        if child_spans and tracer.enabled:
+                            tracer.merge_remote(child_spans, parent=task_span)
                     elif kind == "error":
                         __, slot, task_id, error_text = message
                         worker = workers.get(slot)
@@ -526,13 +539,23 @@ class SupervisedPool:
     def _worker_main(self, slot: int) -> None:  # pragma: no cover - forked child
         """Forked worker loop: beat, take task, run, report, repeat."""
         from ..obs import get_auditor, set_auditor, set_tracer
+        from ..obs.trace import Tracer
 
         # The child inherits the parent's live observability singletons.
-        # Spans recorded here would never reach the parent tracer, and a
+        # The inherited tracer holds parent-owned spans and a shared lock,
+        # so it is replaced: with tracing live the child gets its *own*
+        # tracer carrying the inherited trace context (the parent's
+        # ``supervisor.run`` span is still on this thread's stack, so
+        # ``inject()`` anchors there), and its finished spans ship back
+        # with each result for ``merge_remote`` to adopt.  A
         # registry-backed auditor would race the parent on run-id
-        # assignment — detach both; metrics stay live so counter deltas
+        # assignment — detach it; metrics stay live so counter deltas
         # can be measured and shipped back with each result.
-        set_tracer(None)
+        parent_tracer = get_tracer()
+        child_tracer = None
+        if parent_tracer.enabled:
+            child_tracer = Tracer(remote_context=parent_tracer.inject())
+        set_tracer(child_tracer)
         auditor = get_auditor()
         if auditor.enabled:
             set_auditor(auditor.detached())
@@ -551,12 +574,14 @@ class SupervisedPool:
 
         metrics = get_metrics()
         baseline = metrics.counter_snapshot() if metrics.enabled else {}
+        span_cursor = 0
         while True:
             message = in_q.get()
             if message is None:
                 break
             task_id, attempt, payload = message
             out_q.put(("start", slot, task_id))
+            started = time.perf_counter()
             try:
                 if self.chaos is not None:
                     self.chaos.before_task(task_id, attempt)
@@ -569,7 +594,12 @@ class SupervisedPool:
                     baseline = current
                 else:
                     delta = {}
-                out_q.put(("done", slot, task_id, result, delta))
+                if child_tracer is not None:
+                    spans, span_cursor = child_tracer.dicts_since(span_cursor)
+                else:
+                    spans = []
+                seconds = time.perf_counter() - started
+                out_q.put(("done", slot, task_id, result, delta, spans, seconds))
             except BaseException as exc:
                 detail = "".join(
                     traceback.format_exception_only(type(exc), exc)

@@ -9,19 +9,23 @@ killed or partitioned worker costs a lease (reassigned), never a chunk
 journal without recomputing.
 """
 
+import json
 import shutil
 import socket
 import struct
 import tempfile
 import threading
 import time
+import urllib.request
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cli import build_parser
+from repro import obs
+from repro.cli import build_parser, main as cli_main
+from repro.obs.timeline import analyze_spans
 from repro.compress.sz import SZCompressor
 from repro.core.errorflow import ErrorFlowAnalyzer
 from repro.core.pipeline import InferencePipeline, split_chunks
@@ -306,12 +310,16 @@ def _run_distributed(
     worker_wait=15.0,
     expect_workers=0,
     worker_checkpoints=None,
+    metrics_port=None,
+    on_coordinator=None,
 ):
     """Distributed run with in-thread worker agents launched on start."""
     summaries, errors, threads = [], [], []
 
     def launch(coordinator):
         host, port = coordinator.address
+        if on_coordinator is not None:
+            on_coordinator(coordinator)
 
         def run_one(index):
             spec = (chaos_specs or {}).get(index)
@@ -342,6 +350,7 @@ def _run_distributed(
         worker_wait=worker_wait,
         expect_workers=expect_workers,
         on_start=launch,
+        metrics_port=metrics_port,
     )
     result = pipeline.execute_chunked(
         fields,
@@ -663,3 +672,218 @@ def test_merged_journal_matches_serial_under_partitions(
             assert mine["blob_bytes"] == ref["blob_bytes"]
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+# -- distributed tracing + live ops plane ------------------------------------
+
+
+@needs_fork
+def test_distributed_trace_stitches_one_trace_across_chaos(distrib_setup):
+    """The observability tentpole, end to end: a chaos-partitioned
+    2-worker run — one disconnect mid-lease, one artificially slow
+    chunk — still lands every span in ONE trace (zero orphans), and
+    the timeline analyzer names the slow chunk as the straggler."""
+    pipeline, fields, serial, _, _ = distrib_setup
+    with obs.capture() as (tracer, _):
+        result, summaries, errors = _run_distributed(
+            pipeline,
+            fields,
+            expect_workers=2,
+            chaos_specs={
+                0: "disconnect@1,slow@2:all=1.5",
+                1: "slow@2:all=1.5",
+            },
+        )
+        spans = tracer.to_dicts()
+    assert errors == []
+    np.testing.assert_array_equal(result.outputs, serial.outputs)
+
+    # one stitched trace: every span shares the run's trace id and is
+    # reachable from a root — nothing orphaned by the partition
+    assert {span["trace_id"] for span in spans} == {tracer.trace_id}
+    report = analyze_spans(spans)
+    assert report["orphans"]["count"] == 0
+    assert report["n_spans"] == len(spans) > 0
+
+    # the lease schedule was reconstructed: all four chunks accounted
+    # for, with per-worker utilization over the run wall
+    assert sum(w["chunks"] for w in report["workers"].values()) == 4
+    assert set(report["workers"]) <= {"w0", "w1"}
+    for stats in report["workers"].values():
+        assert stats["busy_s"] > 0.0 and 0.0 < stats["utilization"] <= 1.0
+
+    # the chaos-slowed chunk shows up as the straggler
+    straggler_chunks = [s["chunk"] for s in report["stragglers"]]
+    assert 2 in straggler_chunks
+    slow = next(s for s in report["stragglers"] if s["chunk"] == 2)
+    assert slow["run_s"] >= 1.5 and slow["ratio_to_median"] > 2.0
+
+    assert report["critical_path"], "critical path must be non-empty"
+    assert report["phase_seconds"]["run"] >= 1.5
+
+    # the same analysis rides back on the result itself
+    timeline = result.extra["timeline"]
+    assert timeline["orphans"]["count"] == 0
+    assert 2 in [s["chunk"] for s in timeline["stragglers"]]
+
+    # worker spans made it over the wire (or through the fork seam)
+    names = {span["name"] for span in spans}
+    assert {"distrib.serve", "distrib.chunk", "worker.lease"} <= names
+
+
+@needs_fork
+def test_live_endpoints_respond_during_run(distrib_setup):
+    """/status and /metrics answer while the run is in flight and see
+    both connected workers."""
+    pipeline, fields, serial, _, _ = distrib_setup
+    statuses, metric_bodies = [], []
+    stop = threading.Event()
+    pollers = []
+
+    def poll(address):
+        host, port = address
+        base = f"http://{host}:{port}"
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(f"{base}/status", timeout=2.0) as r:
+                    statuses.append(json.loads(r.read()))
+                with urllib.request.urlopen(f"{base}/metrics", timeout=2.0) as r:
+                    metric_bodies.append(r.read().decode())
+            except OSError:
+                pass  # run may finish between polls
+            time.sleep(0.05)
+
+    def watch(coordinator):
+        assert coordinator.metrics_address is not None
+        thread = threading.Thread(
+            target=poll, args=(coordinator.metrics_address,), daemon=True
+        )
+        pollers.append(thread)
+        thread.start()
+
+    with obs.capture():
+        result, _, errors = _run_distributed(
+            pipeline,
+            fields,
+            expect_workers=2,
+            chaos_specs={0: "slow@*:all=0.25", 1: "slow@*:all=0.25"},
+            metrics_port=0,
+            on_coordinator=watch,
+        )
+    stop.set()
+    for thread in pollers:
+        thread.join(timeout=5.0)
+    assert errors == []
+    np.testing.assert_array_equal(result.outputs, serial.outputs)
+
+    assert statuses, "poller never reached /status"
+    assert any(s["workers_connected"] == 2 for s in statuses)
+    assert any(s["leases_active"] >= 1 for s in statuses)
+    # the lease table exposes per-chunk state while chunks are leased
+    leased = [
+        c for s in statuses for c in s["chunks"] if c["state"] == "leased"
+    ]
+    assert leased and all(c["owner"] in ("w0", "w1") for c in leased)
+    assert any("distrib_workers_connected 2" in body for body in metric_bodies)
+    assert any("distrib_chunk_seconds" in body for body in metric_bodies)
+
+
+def test_coordinator_endpoints_without_workers():
+    """Raw endpoint contract: a freshly started coordinator answers
+    /status, /metrics and /healthz before any worker joins."""
+    manifest = {
+        "fingerprint": {"codec": "sz"},
+        "chunk_digests": [digest_array(np.zeros((2, 2), dtype=np.float32))],
+    }
+    config = DistribConfig(port=0, metrics_port=0, worker_wait=5.0)
+    coordinator = ShardCoordinator(manifest, config=config)
+    with obs.capture():
+        coordinator.start()
+        try:
+            host, port = coordinator.metrics_address
+            base = f"http://{host}:{port}"
+            with urllib.request.urlopen(f"{base}/status", timeout=5.0) as r:
+                status = json.loads(r.read())
+            assert status["workers_connected"] == 0
+            assert status["chunks_total"] == 1
+            assert status["chunks_pending"] == 1
+            assert [c["state"] for c in status["chunks"]] == ["pending"]
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5.0) as r:
+                assert r.read() == b"ok\n"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5.0) as r:
+                assert "text/plain" in r.headers["Content-Type"]
+        finally:
+            coordinator.request_drain()
+            assert coordinator.serve()["outcome"] == "drained"
+
+
+def test_cli_parses_telemetry_flags_and_trace_command():
+    args = build_parser().parse_args(
+        [
+            "coordinate", "h2combustion", "--tolerance", "1e-2",
+            "--chunk-size", "16",
+            "--metrics-port", "9100", "--metrics-host", "0.0.0.0",
+        ]
+    )
+    assert args.metrics_port == 9100
+    assert args.metrics_host == "0.0.0.0"
+
+    args = build_parser().parse_args(
+        ["trace", "analyze", "t.jsonl", "--straggler-k", "3", "--json", "o.json"]
+    )
+    assert args.command == "trace" and args.trace_command == "analyze"
+    assert args.file == "t.jsonl" and args.straggler_k == 3.0
+
+    args = build_parser().parse_args(
+        ["serve-metrics", "m.json", "--port", "9100", "--duration", "0.5"]
+    )
+    assert args.command == "serve-metrics" and args.duration == 0.5
+
+
+def test_cli_trace_analyze_exit_codes(tmp_path):
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    clean = str(tmp_path / "clean.jsonl")
+    tracer.export_jsonl(clean)
+    out = str(tmp_path / "report.json")
+    assert cli_main(["trace", "analyze", clean, "--json", out]) == 0
+    report = json.loads(open(out).read())
+    assert report["orphans"]["count"] == 0
+    assert [p["name"] for p in report["critical_path"]] == ["root", "child"]
+
+    orphaned = str(tmp_path / "orphaned.jsonl")
+    shutil.copy(clean, orphaned)
+    with open(orphaned, "a") as handle:
+        handle.write(json.dumps({
+            "span_id": "a" * 16, "parent_id": "b" * 16, "root": False,
+            "name": "lost", "start_unix": 0.0, "duration_s": 0.1,
+        }) + "\n")
+    # orphaned spans flip the exit code: CI can assert a fully
+    # stitched trace with nothing but `repro trace analyze`
+    assert cli_main(["trace", "analyze", orphaned]) == 1
+    assert cli_main(["trace", "analyze", str(tmp_path / "missing.jsonl")]) == 1
+
+
+def test_cli_serve_metrics_serves_saved_export(tmp_path):
+    with obs.capture() as (_, metrics):
+        metrics.counter("events_total").inc(5)
+        payload = metrics.to_json()
+    path = str(tmp_path / "metrics.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+    results = {}
+
+    def run():
+        results["code"] = cli_main(
+            ["serve-metrics", path, "--port", "0", "--duration", "1.0"]
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert results.get("code") == 0

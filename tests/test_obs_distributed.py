@@ -1,0 +1,468 @@
+"""Distributed observability suite: trace context propagation, remote
+span merging, the live telemetry endpoint and timeline analysis.
+
+The contract under test is the observability tentpole: spans minted in
+coordinator threads, TCP workers and forked pool children stitch into
+ONE trace (same trace id, zero orphans); the coordinator exposes live
+``/metrics`` + ``/status``; and the timeline analyzer reconstructs the
+per-chunk lease schedule — critical path, per-worker utilization and
+straggler detection — from nothing but the exported spans.
+"""
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer, new_span_id, new_trace_id, read_jsonl
+from repro.obs.server import MetricsServer, prometheus_from_json_export
+from repro.obs.timeline import analyze_spans, analyze_trace, render_gantt, render_report
+from repro.obs.trace import NULL_TRACER, Span
+
+
+# -- trace/span identity ----------------------------------------------------
+
+
+def test_id_minting_formats():
+    trace_id, span_id = new_trace_id(), new_span_id()
+    assert re.fullmatch(r"[0-9a-f]{32}", trace_id)
+    assert re.fullmatch(r"[0-9a-f]{16}", span_id)
+    assert new_trace_id() != trace_id  # random, not sequential
+    assert new_span_id() != span_id
+
+
+def test_spans_carry_their_tracers_trace_id():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            pass
+    assert root.trace_id == tracer.trace_id == child.trace_id
+    assert re.fullmatch(r"[0-9a-f]{32}", root.trace_id)
+
+
+def test_span_to_dict_marks_roots_explicitly():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    root_dict = next(d for d in tracer.to_dicts() if d["name"] == "root")
+    child_dict = next(d for d in tracer.to_dicts() if d["name"] == "child")
+    assert root_dict["root"] is True and root_dict["parent_id"] is None
+    assert child_dict["root"] is False
+    assert child_dict["parent_id"] == root_dict["span_id"]
+
+
+def test_span_round_trips_through_export_and_from_dict(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", codec="sz"):
+        with tracer.span("child") as child:
+            child.set(ratio=2.0)
+    path = str(tmp_path / "trace.jsonl")
+    tracer.export_jsonl(path)
+    for row in read_jsonl(path):
+        span = Span.from_dict(row)
+        assert span.to_dict() == row  # exact structural round-trip
+    rebuilt = Span.from_dict(next(r for r in read_jsonl(path) if r["name"] == "root"))
+    assert rebuilt.parent_id is None and rebuilt.trace_id == tracer.trace_id
+
+
+def test_from_dict_honours_root_flag_over_stale_parent():
+    payload = {
+        "span_id": "a" * 16,
+        "parent_id": "b" * 16,
+        "root": True,  # explicit marker wins over a stale parent field
+        "name": "x",
+    }
+    assert Span.from_dict(payload).parent_id is None
+
+
+# -- inject / extract -------------------------------------------------------
+
+
+def test_inject_anchors_at_current_span():
+    tracer = Tracer()
+    assert tracer.inject() == {"trace_id": tracer.trace_id, "parent_span_id": None}
+    with tracer.span("work") as span:
+        ctx = tracer.inject()
+        assert ctx == {"trace_id": tracer.trace_id, "parent_span_id": span.span_id}
+    assert tracer.inject(span)["parent_span_id"] == span.span_id
+
+
+@pytest.mark.parametrize(
+    "carrier",
+    [None, "nope", 42, {}, {"trace_id": ""}, {"trace_id": 7}, {"trace": "x"},
+     {"trace_id": "t", "parent_span_id": 9}],
+)
+def test_extract_rejects_malformed_carriers(carrier):
+    assert Tracer.extract(carrier) is None
+
+
+def test_extract_accepts_bare_context_and_trace_field():
+    ctx = {"trace_id": "t" * 32, "parent_span_id": "p" * 16}
+    assert Tracer.extract(ctx) == ctx
+    assert Tracer.extract({"type": "lease", "trace": ctx}) == ctx
+    assert Tracer.extract({"type": "lease"}) is None
+
+
+def test_remote_context_constructor_adopts_trace_id():
+    parent = Tracer()
+    with parent.span("serve") as serve:
+        ctx = parent.inject()
+    child = Tracer(remote_context=ctx)
+    assert child.trace_id == parent.trace_id
+    with child.span("remote.work") as span:
+        pass
+    assert span.trace_id == parent.trace_id
+    assert span.parent_id == serve.span_id  # parented across the seam
+
+
+def test_remote_parent_used_only_when_stack_empty():
+    tracer = Tracer()
+    ctx = {"trace_id": "f" * 32, "parent_span_id": "e" * 16}
+    with tracer.span("detached", remote_parent=ctx) as detached:
+        with tracer.span("nested", remote_parent=ctx) as nested:
+            pass
+    assert detached.parent_id == "e" * 16 and detached.trace_id == "f" * 32
+    # the local stack wins: the span nests where it actually runs
+    assert nested.parent_id == detached.span_id
+
+
+# -- merge_remote -----------------------------------------------------------
+
+
+def test_merge_remote_reparents_batch_roots_under_parent():
+    remote = Tracer()
+    with remote.span("remote.outer"):
+        with remote.span("remote.inner"):
+            pass
+    local = Tracer()
+    with local.span("supervisor.task") as task:
+        pass
+    adopted = local.merge_remote(remote.to_dicts(), parent=task)
+    by_name = {s.name: s for s in adopted}
+    assert by_name["remote.outer"].parent_id == task.span_id
+    assert by_name["remote.outer"].trace_id == task.trace_id
+    # intra-batch links survive the reparenting
+    assert by_name["remote.inner"].parent_id == by_name["remote.outer"].span_id
+    assert by_name["remote.inner"] in local.finished
+
+
+def test_merge_remote_without_parent_keeps_shipped_links():
+    parent = Tracer()
+    with parent.span("distrib.serve") as serve:
+        ctx = parent.inject()
+    worker = Tracer(remote_context=ctx)
+    with worker.span("worker.lease"):
+        pass
+    adopted = parent.merge_remote(worker.to_dicts())
+    assert adopted[0].parent_id == serve.span_id  # wire contract: untouched
+
+
+def test_merge_remote_dedupes_by_span_id():
+    remote = Tracer()
+    with remote.span("once"):
+        pass
+    local = Tracer()
+    first = local.merge_remote(remote.to_dicts())
+    second = local.merge_remote(remote.to_dicts())  # re-shipped batch
+    assert len(first) == 1 and second == []
+    assert len(local.find("once")) == 1
+
+
+def test_merge_remote_skips_own_spans():
+    """A shared-tracer harness (in-process test workers) re-ships spans
+    the receiver already owns; ids it minted itself must not duplicate."""
+    tracer = Tracer()
+    with tracer.span("mine"):
+        pass
+    assert tracer.merge_remote(tracer.to_dicts()) == []
+    assert len(tracer.find("mine")) == 1
+
+
+def test_merge_remote_tolerates_garbage():
+    tracer = Tracer()
+    assert tracer.merge_remote([]) == []
+    assert tracer.merge_remote([None, "x", {}, {"name": "no-id"}]) == []
+
+
+def test_dicts_since_is_an_incremental_cursor():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    batch, cursor = tracer.dicts_since(0)
+    assert [d["name"] for d in batch] == ["a"]
+    assert tracer.dicts_since(cursor)[0] == []
+    with tracer.span("b"):
+        pass
+    batch, cursor = tracer.dicts_since(cursor)
+    assert [d["name"] for d in batch] == ["b"]
+
+
+def test_null_tracer_propagation_api_is_inert():
+    assert NULL_TRACER.inject() is None
+    assert NULL_TRACER.extract({"trace_id": "x"}) is None
+    assert NULL_TRACER.merge_remote([{"span_id": "s"}]) == []
+    assert NULL_TRACER.dicts_since(5) == ([], 0)
+    with NULL_TRACER.span("x", remote_parent={"trace_id": "t"}):
+        pass
+
+
+# -- Prometheus exposition (satellite: header dedupe + grammar) -------------
+
+#: one exposition line: comment, blank, or sample per the text format
+_EXPOSITION_LINE = re.compile(
+    r"^(#\s(HELP|TYPE)\s[a-zA-Z_:][a-zA-Z0-9_:]*\s.*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?\s[0-9eE+\-.]+)$"
+)
+
+
+def _assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        assert _EXPOSITION_LINE.match(line), f"invalid exposition line: {line!r}"
+
+
+def test_prometheus_headers_emitted_once_per_name():
+    registry = MetricsRegistry()
+    registry.counter("events_total", kind="a").inc(1)
+    registry.counter("events_total", kind="b").inc(2)
+    registry.histogram("latency_seconds", stage="x").observe(0.1)
+    registry.histogram("latency_seconds", stage="y").observe(0.2)
+    text = registry.to_prometheus()
+    assert text.count("# TYPE events_total counter") == 1
+    assert text.count("# HELP events_total ") == 1
+    assert text.count("# TYPE latency_seconds summary") == 1
+    assert 'events_total{kind="a"} 1' in text
+    assert 'events_total{kind="b"} 2' in text
+    _assert_valid_exposition(text)
+
+
+def test_prometheus_describe_attaches_help_text():
+    registry = MetricsRegistry()
+    registry.describe("workers", "workers currently connected")
+    registry.gauge("workers").set(2)
+    text = registry.to_prometheus()
+    assert "# HELP workers workers currently connected" in text
+    # undescribed metrics fall back to a generated help line
+    registry.counter("other_total").inc()
+    assert "# HELP other_total repro runtime metric other_total" in registry.to_prometheus()
+    _assert_valid_exposition(registry.to_prometheus())
+
+
+def test_prometheus_help_escapes_newlines_and_backslashes():
+    registry = MetricsRegistry()
+    registry.describe("weird", "line one\nline two \\ slash")
+    registry.gauge("weird").set(1)
+    text = registry.to_prometheus()
+    assert "# HELP weird line one\\nline two \\\\ slash" in text
+    _assert_valid_exposition(text)
+
+
+def test_prometheus_from_json_export_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("events_total", kind="a").inc(3)
+    registry.gauge("ratio").set(2.5)
+    registry.histogram("latency_seconds", stage="z").observe(0.5)
+    text = prometheus_from_json_export(registry.to_json())
+    assert 'events_total{kind="a"} 3' in text
+    assert "# TYPE latency_seconds summary" in text
+    assert 'latency_seconds{stage="z",quantile="0.5"} 0.5' in text
+    assert 'latency_seconds_count{stage="z"} 1' in text
+    _assert_valid_exposition(text)
+    assert prometheus_from_json_export({"metrics": []}) == ""
+
+
+# -- live telemetry endpoint ------------------------------------------------
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.read(), response.headers
+
+
+def test_metrics_server_serves_metrics_status_healthz():
+    status_doc = {"workers_connected": 2, "chunks_done": 1}
+    with obs.capture() as (_, metrics):
+        metrics.counter("events_total").inc(3)
+        with MetricsServer(status_fn=lambda: dict(status_doc)) as server:
+            host, port = server.address
+            base = f"http://{host}:{port}"
+            code, body, headers = _get(f"{base}/metrics")
+            assert code == 200
+            assert "text/plain" in headers["Content-Type"]
+            assert b"events_total 3" in body
+            code, body, _ = _get(f"{base}/status")
+            assert code == 200 and json.loads(body) == status_doc
+            code, body, _ = _get(f"{base}/healthz")
+            assert code == 200 and body == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{base}/nope")
+            assert excinfo.value.code == 404
+
+
+def test_metrics_server_tracks_registry_installed_after_start():
+    """Per-request registry lookup: enable order must not matter."""
+    server = MetricsServer()
+    host, port = server.start()
+    try:
+        code, body, _ = _get(f"http://{host}:{port}/metrics")
+        assert code == 200 and body == b""  # NullMetrics: empty exposition
+        with obs.capture() as (_, metrics):
+            metrics.counter("late_total").inc()
+            _, body, _ = _get(f"http://{host}:{port}/metrics")
+            assert b"late_total 1" in body
+    finally:
+        server.stop()
+
+
+def test_metrics_server_failing_status_fn_degrades_to_500():
+    def boom():
+        raise RuntimeError("status exploded")
+
+    with MetricsServer(status_fn=boom) as server:
+        host, port = server.address
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://{host}:{port}/status")
+        assert excinfo.value.code == 500
+
+
+# -- timeline analysis ------------------------------------------------------
+
+
+def _chunk_span(chunk, worker, enqueued, granted, accepted, run_s, lease=1):
+    return {
+        "span_id": new_span_id(),
+        "parent_id": "r" * 16,
+        "root": False,
+        "name": "distrib.chunk",
+        "start_unix": accepted,
+        "duration_s": 0.0,
+        "trace_id": "t" * 32,
+        "attributes": {
+            "chunk": chunk,
+            "worker": worker,
+            "lease": lease,
+            "queue_s": granted - enqueued,
+            "run_s": run_s,
+            "transfer_s": max(0.0, (accepted - granted) - run_s),
+            "enqueued_unix": enqueued,
+            "granted_unix": granted,
+            "accepted_unix": accepted,
+        },
+    }
+
+
+def _synthetic_trace():
+    root = {
+        "span_id": "r" * 16,
+        "parent_id": None,
+        "root": True,
+        "name": "distrib.serve",
+        "start_unix": 100.0,
+        "duration_s": 10.0,
+        "trace_id": "t" * 32,
+        "attributes": {},
+    }
+    chunks = [
+        _chunk_span(0, "w0", 100.0, 100.1, 101.2, 1.0),
+        _chunk_span(1, "w1", 100.0, 100.1, 101.3, 1.1),
+        _chunk_span(2, "w0", 100.0, 101.3, 107.5, 6.0),  # straggler
+        _chunk_span(3, "w1", 100.0, 101.4, 102.7, 1.2),
+    ]
+    return [root] + chunks
+
+
+def test_analyze_spans_builds_timeline_report():
+    report = analyze_spans(_synthetic_trace())
+    assert report["trace_id"] == "t" * 32
+    assert report["n_spans"] == 5 and report["n_roots"] == 1
+    assert report["orphans"]["count"] == 0
+    assert report["root"]["name"] == "distrib.serve"
+    assert report["wall_seconds"] == pytest.approx(10.0)
+    # per-worker utilization over the run wall
+    assert report["workers"]["w0"]["chunks"] == 2
+    assert report["workers"]["w0"]["busy_s"] == pytest.approx(7.0)
+    assert report["workers"]["w0"]["utilization"] == pytest.approx(0.7)
+    assert report["workers"]["w1"]["utilization"] == pytest.approx(0.23)
+    # phase aggregate
+    assert report["phase_seconds"]["run"] == pytest.approx(9.3)
+    # straggler: 6.0s vs median 1.15s
+    assert [s["chunk"] for s in report["stragglers"]] == [2]
+    assert report["stragglers"][0]["ratio_to_median"] == pytest.approx(6.0 / 1.15)
+    # critical path starts at the dominant root
+    assert report["critical_path"][0]["name"] == "distrib.serve"
+    # the whole report survives JSON
+    assert json.loads(json.dumps(report)) == report
+
+
+def test_analyze_spans_detects_orphans():
+    spans = _synthetic_trace()
+    spans.append(
+        {
+            "span_id": "o" * 16,
+            "parent_id": "z" * 16,  # parent never shipped
+            "root": False,
+            "name": "lost.child",
+            "start_unix": 101.0,
+            "duration_s": 0.1,
+            "attributes": {},
+        }
+    )
+    report = analyze_spans(spans)
+    assert report["orphans"]["count"] == 1
+    assert report["orphans"]["spans"][0]["name"] == "lost.child"
+
+
+def test_analyze_spans_straggler_threshold_is_tunable():
+    report = analyze_spans(_synthetic_trace(), straggler_k=10.0)
+    assert report["stragglers"] == []
+    with pytest.raises(ValueError):
+        analyze_spans(_synthetic_trace(), straggler_k=0.0)
+
+
+def test_analyze_spans_empty_and_malformed_input():
+    report = analyze_spans([])
+    assert report["n_spans"] == 0 and report["critical_path"] == []
+    assert report["orphans"]["count"] == 0 and report["workers"] == {}
+    # non-dict and id-less entries are evidence to skip, not errors
+    assert analyze_spans([None, "x", {"name": "no-id"}])["n_spans"] == 0
+
+
+def test_analyze_trace_reads_exported_file(tmp_path):
+    tracer = Tracer()
+    with tracer.span("pipeline.execute_chunked"):
+        with tracer.span("distrib.serve"):
+            pass
+    path = str(tmp_path / "trace.jsonl")
+    tracer.export_jsonl(path)
+    report = analyze_trace(path)
+    assert report["n_spans"] == 2 and report["orphans"]["count"] == 0
+    assert report["trace_id"] == tracer.trace_id
+    assert [p["name"] for p in report["critical_path"]] == [
+        "pipeline.execute_chunked",
+        "distrib.serve",
+    ]
+
+
+def test_render_gantt_and_report_shapes():
+    report = analyze_spans(_synthetic_trace())
+    gantt = render_gantt(report, width=40)
+    lines = gantt.splitlines()
+    assert len(lines) == 5  # header + 4 chunks
+    assert "w0" in lines[1] and "=" in lines[1]
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+    with pytest.raises(ValueError):
+        render_gantt(report, width=8)
+    assert render_gantt({"chunks": []}) == "(no distrib.chunk spans in trace)"
+    text = render_report(report)
+    assert "orphans: 0" in text
+    assert "straggler: chunk 2 on w0" in text
+    assert "critical path: distrib.serve" in text
+
+
+def test_render_report_without_chunks_says_no_stragglers():
+    text = render_report(analyze_spans([]))
+    assert "stragglers: none" in text

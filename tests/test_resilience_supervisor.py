@@ -347,6 +347,34 @@ def test_pool_merges_worker_counter_deltas():
     assert snapshot["supervised_test_work_total"][()] == 7
 
 
+def test_pool_stitches_child_spans_into_parent_trace():
+    def traced_task(x):
+        with obs.get_tracer().span("child.work", value=x):
+            return x * x
+
+    with obs.capture() as (tracer, _):
+        with tracer.span("test.run") as root:
+            report = SupervisedPool(traced_task, workers=2, retry=FAST_RETRY).run(
+                [1, 2, 3]
+            )
+        task_spans = tracer.find("supervisor.task")
+        child_spans = tracer.find("child.work")
+    assert len(task_spans) == 3 and len(child_spans) == 3
+    task_ids = {span.span_id for span in task_spans}
+    for child in child_spans:
+        # forked-child spans reparent under the task span that ran them
+        assert child.parent_id in task_ids
+        assert child.trace_id == root.trace_id
+    for task in task_spans:
+        assert task.trace_id == root.trace_id
+    assert sorted(span.attributes["value"] for span in child_spans) == [1, 2, 3]
+    # the child-measured wall rides back on the outcome
+    assert all(
+        isinstance(outcome.seconds, float) and outcome.seconds >= 0.0
+        for outcome in report.outcomes.values()
+    )
+
+
 def test_pool_rejects_nonpositive_timeout():
     with pytest.raises(ConfigurationError):
         SupervisedPool(_square, workers=2, task_timeout=0.0)
