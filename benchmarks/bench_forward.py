@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Forward-pass benchmark for the compiled execution backends.
+
+Times a single-sample (batch=1) forward pass — the serving-latency case
+— of a 4x1024-wide spectral PReLU MLP under each backend and writes JSON
+rows of ``{path, config, seconds, throughput_samples_s}``:
+
+* ``reference``       — interpreted per-module dispatch (``model(x)``);
+* ``fused_cold``      — one cold call including lowering + codegen + bind
+  (the compile cost a first request pays);
+* ``fused_warm``      — steady state.  The win here is structural: the
+  linker hoists the SpectralLinear weight materialization
+  (``normalized.T * alpha``, recomputed per call by the interpreter)
+  into a bound constant, on top of preallocated buffers and in-place
+  ufuncs;
+* ``fused_disk_warm`` — a fresh in-memory cache sharing the same disk
+  directory: the cross-process cost when the generated source is served
+  from disk and only ``exec`` + bind run;
+* ``numba``           — only when the optional numba package is
+  importable (skipped row otherwise).
+
+Two gates are asserted (and recorded in the rows) so CI catches
+regressions:
+
+* ``fused_warm`` must be >= 2x ``reference`` at batch 1;
+* the warm path must do exactly one lowering and one compile across all
+  timed calls and batch sizes (zero recompiles).
+
+Bit-exactness is asserted before timing: every backend output must be
+``np.array_equal`` to the reference.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_forward.py [--quick] [--out BENCH_pr9.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.models import build_mlp
+from repro.nn.backend import CompiledForward, numba_available
+from repro.perf.compile_cache import CompileCache, get_compile_cache, reset_compile_cache
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time: robust to scheduler noise."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_model():
+    """The serving-latency model: wide spectral PReLU MLP, batch 1.
+
+    SpectralLinear is the paper's training recipe, and its interpreted
+    forward re-materializes ``normalized.T * alpha`` every call — the
+    exact cost the compiled backends hoist to compile time.
+    """
+    model = build_mlp(
+        64, [1024, 1024, 1024, 1024], 8, activation="prelu", spectral=True,
+        rng=np.random.default_rng(7),
+    )
+    model.eval()
+    return model
+
+
+def _row(path: str, config: dict, seconds: float, calls: int) -> dict:
+    return {
+        "path": path,
+        "config": config,
+        "seconds": seconds,
+        "throughput_samples_s": calls / seconds,
+    }
+
+
+def bench_forward(reps: int, inner: int) -> list[dict]:
+    model = _bench_model()
+    x = np.random.default_rng(11).standard_normal((1, 64)).astype(np.float32)
+    base_config = {"model": "mlp64x1024x4x8_spectral_prelu", "batch": 1,
+                   "inner_calls": inner, "reps": reps}
+
+    expected = model(x)
+
+    def timed_loop(fn):
+        def run():
+            for _ in range(inner):
+                fn(x)
+        return _best_of(run, reps)
+
+    rows = []
+
+    ref_seconds = timed_loop(model) / inner
+    rows.append(_row("forward", dict(base_config, backend="reference"),
+                     ref_seconds, 1))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        os.environ["REPRO_COMPILE_CACHE_DIR"] = scratch
+        reset_compile_cache()
+
+        # cold: first call pays lowering + codegen + exec/bind
+        fused = CompiledForward(model, "fused")
+        start = time.perf_counter()
+        cold_out = fused(x)
+        cold_seconds = time.perf_counter() - start
+        assert np.array_equal(cold_out, expected), "fused output not bit-exact"
+        rows.append(_row("forward", dict(base_config, backend="fused_cold",
+                                         inner_calls=1, reps=1),
+                         cold_seconds, 1))
+
+        # warm steady state, exercising several batch sizes in between to
+        # prove buffer reallocation does not trigger recompiles
+        warm_seconds = timed_loop(fused) / inner
+        for batch in (1, 4, 16, 1):
+            xb = np.random.default_rng(batch).standard_normal((batch, 64)).astype(np.float32)
+            assert np.array_equal(fused(xb), model(xb))
+        warm_seconds = min(warm_seconds, timed_loop(fused) / inner)
+        assert fused.stats["lowerings"] == 1, fused.stats
+        assert fused.stats["compiles"] == 1, fused.stats
+        assert fused.stats["fallbacks"] == 0, fused.stats
+        rows.append(_row("forward", dict(base_config, backend="fused_warm",
+                                         lowerings=fused.stats["lowerings"],
+                                         compiles=fused.stats["compiles"]),
+                         warm_seconds, 1))
+
+        # cross-process restart: fresh memory cache, same disk directory —
+        # source comes off disk, only exec + bind run
+        reset_compile_cache()
+        disk_cache = get_compile_cache()
+        assert isinstance(disk_cache, CompileCache)
+        restarted = CompiledForward(model, "fused")
+        start = time.perf_counter()
+        assert np.array_equal(restarted(x), expected)
+        disk_cold_seconds = time.perf_counter() - start
+        assert disk_cache.stats["source_disk_hits"] == 1, disk_cache.stats
+        assert disk_cache.stats["source_generated"] == 0, disk_cache.stats
+        rows.append(_row("forward", dict(base_config, backend="fused_disk_warm",
+                                         inner_calls=1, reps=1,
+                                         source_disk_hits=1),
+                         disk_cold_seconds, 1))
+
+        if numba_available():
+            jitted = CompiledForward(model, "numba")
+            out = jitted(x)
+            if jitted.last_fallback_reason is None:
+                assert np.array_equal(out, expected), "numba output not bit-exact"
+                numba_seconds = timed_loop(jitted) / inner
+                rows.append(_row("forward", dict(base_config, backend="numba"),
+                                 numba_seconds, 1))
+            else:
+                print(f"numba fell back: {jitted.last_fallback_reason}")
+        else:
+            print("numba not installed: skipping numba row")
+
+        os.environ.pop("REPRO_COMPILE_CACHE_DIR", None)
+        reset_compile_cache()
+
+    for row in rows:
+        row["config"]["speedup_vs_reference"] = ref_seconds / row["seconds"]
+    for row in rows:
+        backend = row["config"]["backend"]
+        print(f"forward[{backend}]: {row['seconds']*1e6:.1f} us/call "
+              f"({row['config']['speedup_vs_reference']:.2f}x vs reference)")
+
+    warm_row = next(r for r in rows if r["config"]["backend"] == "fused_warm")
+    speedup = warm_row["config"]["speedup_vs_reference"]
+    assert speedup >= 2.0, (
+        f"fused warm speedup {speedup:.2f}x below the 2x gate"
+    )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer timed calls (CI smoke)")
+    parser.add_argument("--out", default="BENCH_pr9.json")
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.quick else 5
+    inner = 200 if args.quick else 1000
+
+    rows = bench_forward(reps, inner)
+    for row in rows:
+        row["config"]["cpu_count"] = os.cpu_count()
+        row["config"]["quick"] = args.quick
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2)
+    print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ for how to read the output):
 * ``bound_eval``          — a planner-style format x fraction sweep with
   cold caches vs warm caches;
 * ``pipeline_chunked``    — ``InferencePipeline.execute_chunked`` serial
-  vs a 4-worker thread pool vs the supervised 4-worker process pool;
+  vs the supervised 4-worker process pool;
 * ``pipeline_checkpoint`` — the same serial run with and without the
   durable checkpoint journal (journaling overhead).
 
@@ -163,7 +163,6 @@ def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
 
     configs = [
         ("serial", dict(workers=1)),
-        ("thread", dict(workers=workers, executor="thread")),
         ("process", dict(workers=workers, executor="process")),
     ]
     rows = []

@@ -49,6 +49,7 @@ from .compress import ErrorBoundMode, get_compressor
 from .core import InferencePipeline, TolerancePlanner
 from .exceptions import ConfigurationError, ReproError
 from .io import DatasetStore, blob_from_bytes, blob_to_bytes
+from .nn.backend import resolve_backend_name
 from .obs import (
     RunRegistry,
     audit_capture,
@@ -115,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", choices=("debug", "info", "warning", "error"), default="info",
         help="minimum severity printed (default: info)",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="forward-pass execution backend: auto|reference|fused|numba "
+        "(default: env REPRO_BACKEND, else auto = fused; compiled "
+        "backends are bit-identical to reference and fall back to it "
+        "when hooks or unsupported modules appear)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser("analyze", help="error-flow analysis of a workload")
@@ -149,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "is omitted",
     )
     pipeline.add_argument(
-        "--executor", choices=("auto", "serial", "thread", "process"),
+        "--executor", choices=("auto", "serial", "process"),
         default="auto",
         help="chunked execution engine (default: auto = supervised "
         "process pool when --workers > 1 and fork is available)",
@@ -473,7 +481,9 @@ def _cmd_pipeline(args) -> int:
     _LOG.debug("workload loaded", workload=workload.name, variant=workload.variant)
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
-    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    pipeline = InferencePipeline(
+        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+    )
     reshape = _samples_reshape(workload)
     fields = workload.dataset.fields
     chunked_mode = (
@@ -566,7 +576,9 @@ def _distrib_pipeline(args):
     workload = load_workload(args.workload)
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
-    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    pipeline = InferencePipeline(
+        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+    )
     chunk_axis = 0 if workload.name == "eurosat" else 1
     return pipeline, workload.dataset.fields, _samples_reshape(workload), chunk_axis
 
@@ -841,7 +853,9 @@ def _cmd_audit_record(args) -> int:
         plan = planner.plan(
             args.tolerance, norm=args.norm, quant_fraction=args.fraction
         )
-    pipeline = InferencePipeline(workload.qoi_model(), get_compressor(args.codec), plan)
+    pipeline = InferencePipeline(
+        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+    )
     with audit_capture(
         registry=args.registry,
         loose_below=args.loose_below,
@@ -981,6 +995,9 @@ def main(argv: list[str] | None = None) -> int:
         enable_audit(registry=args.audit)
     try:
         try:
+            # validate eagerly so a typo fails before any work starts,
+            # with the same typed error the execution layers would raise
+            resolve_backend_name(args.backend)
             return _HANDLERS[args.command](args)
         except ReproError as exc:
             _LOG.error(f"error ({type(exc).__name__}): {exc}")

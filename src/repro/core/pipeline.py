@@ -35,10 +35,11 @@ from ..exceptions import (
 )
 from ..io.checkpoint import CheckpointJournal, digest_array, digest_model
 from ..io.serialization import blob_from_bytes, blob_to_bytes
+from ..nn.backend import CompiledForward, resolve_backend_name
 from ..nn.module import Module
 from ..obs import get_auditor, get_logger, get_metrics, get_tracer
 from ..obs.audit import AuditRecord
-from ..perf.parallel import parallel_map, resolve_workers
+from ..perf.parallel import resolve_workers
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
 from ..resilience.inject import ChaosInjector
@@ -143,6 +144,14 @@ class InferencePipeline:
     screen:
         Disable to skip NaN/Inf screening and contract checking
         (measurement-only runs on data known to be dirty).
+    backend:
+        Execution backend for the forward passes: ``"auto"`` (default,
+        resolves to ``"fused"``), ``"reference"``, ``"fused"`` or
+        ``"numba"``; ``None`` consults ``REPRO_BACKEND``.  Compiled
+        backends are bit-identical to the reference interpreter and fall
+        back to it transparently (audit hooks, unsupported modules,
+        off-envelope inputs), recording the reason in
+        ``result.extra["backend"]``.
     """
 
     def __init__(
@@ -153,6 +162,7 @@ class InferencePipeline:
         on_corruption: "CorruptionPolicy | str" = CorruptionPolicy.RAISE,
         max_retries: int = 1,
         screen: bool = True,
+        backend: "str | None" = None,
     ) -> None:
         self.model = model
         self.codec = codec
@@ -160,7 +170,10 @@ class InferencePipeline:
         self.on_corruption = resolve_policy(on_corruption)
         self.max_retries = int(max_retries)
         self.screen = screen
+        self.backend = resolve_backend_name(backend)
         self.quantized: QuantizedModel = quantize_model(model, plan.fmt)
+        self._forward_quant = CompiledForward(self.quantized.model, self.backend)
+        self._forward_ref = CompiledForward(self.model, self.backend)
         self._mode = self._select_mode()
         self._audit_recorder = None
         self._audit_lock = threading.Lock()
@@ -338,14 +351,15 @@ class InferencePipeline:
                 fmt=self.plan.fmt.name,
                 samples=int(len(samples)),
                 predicted_bound=float(self.plan.quant_bound),
+                backend=self.backend,
             ) as inference_span:
                 start = time.perf_counter()
-                outputs = self.quantized(samples)
+                outputs = self._forward_quant(samples)
                 inference_seconds = time.perf_counter() - start
 
             self.model.eval()
             reference_samples = samples_from_fields(fields)
-            reference = self.model(reference_samples)
+            reference = self._forward_ref(reference_samples)
             delta = reference_samples - samples
             input_error_linf = float(np.abs(delta).max()) if delta.size else 0.0
             input_error_l2_max = (
@@ -395,6 +409,12 @@ class InferencePipeline:
                         slack=1e-9,
                     )
 
+            backend_info: dict = {"name": self.backend}
+            if self._forward_quant.last_fallback_reason is not None:
+                backend_info["fallback_quant"] = self._forward_quant.last_fallback_reason
+            if self._forward_ref.last_fallback_reason is not None:
+                backend_info["fallback_reference"] = self._forward_ref.last_fallback_reason
+
             result = PipelineResult(
                 outputs=outputs,
                 reference_outputs=reference,
@@ -405,7 +425,7 @@ class InferencePipeline:
                 inference_seconds=inference_seconds,
                 input_error_linf=input_error_linf,
                 input_error_l2_max=input_error_l2_max,
-                extra={"integrity": integrity},
+                extra={"integrity": integrity, "backend": backend_info},
             )
 
             if tracer.enabled or metrics.enabled:
@@ -530,16 +550,16 @@ class InferencePipeline:
             ``"process"`` — supervised fork-based worker pool (heartbeats,
             deadlines, respawn, retry/backoff, quarantine, circuit
             breaker; see :class:`~repro.resilience.supervisor.SupervisedPool`);
-            ``"thread"`` — the PR-4 thread pool (fail-fast, no
-            supervision); ``"serial"`` — in-process loop;
+            ``"serial"`` — in-process loop;
             ``"distributed"`` — serve the chunks as leases to remote
             workers via a :class:`~repro.distrib.coordinator.
             ShardCoordinator` (configured by ``distrib``), degrading to
             the local supervised pool if no worker joins; ``"auto"``
             (default) — process pool when ``workers > 1`` and fork is
-            available, else serial (the thread pool is never chosen
-            automatically: BENCH_pr4 showed it yields no inference
-            speedup, so it remains explicit-opt-in only).  The executor
+            available, else serial.  (The GIL-bound thread pool was
+            removed as an inference executor: BENCH_pr4 showed it yields
+            no speedup.  :func:`repro.perf.parallel.parallel_map` remains
+            for chunked I/O, where threads do overlap.)  The executor
             actually used and the one requested are both recorded in
             ``result.extra["chunked"]``.
         checkpoint:
@@ -686,9 +706,7 @@ class InferencePipeline:
                     chaos=chaos,
                 )
             elif pending:
-                journal_lock = threading.Lock()
-
-                def run_chunk(index: int) -> PipelineResult:
+                for index in pending:
                     chunk = chunks[index]
                     started = time.perf_counter()
                     with tracer.span(
@@ -700,21 +718,13 @@ class InferencePipeline:
                     if journal is not None:
                         # journal as each chunk completes — a crash loses
                         # only in-flight work, never finished chunks
-                        with journal_lock:
-                            self._journal_chunk(
-                                journal,
-                                index,
-                                result,
-                                digests[index],
-                                seconds=time.perf_counter() - started,
-                            )
-                    return result
-
-                pool_workers = n_workers if executor == "thread" else 1
-                computed = parallel_map(
-                    run_chunk, pending, workers=pool_workers, label="pipeline"
-                )
-                for index, result in zip(pending, computed):
+                        self._journal_chunk(
+                            journal,
+                            index,
+                            result,
+                            digests[index],
+                            seconds=time.perf_counter() - started,
+                        )
                     results[index] = result
 
             wall_seconds = time.perf_counter() - wall_start
@@ -788,17 +798,19 @@ class InferencePipeline:
 
     @staticmethod
     def _resolve_executor(executor: str, n_workers: int) -> str:
-        if executor not in ("auto", "serial", "thread", "process", "distributed"):
+        if executor not in ("auto", "serial", "process", "distributed"):
             raise ConfigurationError(
-                "executor must be auto|serial|thread|process|distributed, "
+                "executor must be auto|serial|process|distributed, "
                 f"got {executor!r}"
             )
         if executor == "auto":
             if n_workers <= 1:
                 return "serial"
-            # BENCH_pr4: the GIL-bound thread pool yields no inference
-            # speedup, so auto never picks it — process if fork exists,
-            # else serial.  "thread" and "distributed" stay explicit.
+            # BENCH_pr4 showed the GIL-bound thread pool yields no
+            # inference speedup, and it was removed as an executor in the
+            # backend-engine PR (the thread pool itself remains for
+            # chunked I/O in repro.perf.parallel) — process if fork
+            # exists, else serial.  "distributed" stays explicit.
             return "process" if fork_available() else "serial"
         return executor
 

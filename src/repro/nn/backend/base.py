@@ -1,0 +1,216 @@
+"""Backend selection and the :class:`CompiledForward` execution front-end.
+
+A *backend* turns a lowered program into one fused callable:
+
+===========  =================================================================
+reference    the interpreted per-module dispatch (``model(x)``), unchanged
+fused        generated pure-numpy closure, preallocated buffers, in-place ops
+numba        njit-compiled kernel over the same lowered program (optional)
+===========  =================================================================
+
+``auto`` (the default, also via ``REPRO_BACKEND``) resolves to ``fused``.
+
+:class:`CompiledForward` wraps a model with a chosen backend and keeps
+the kernel honest on every call:
+
+* **staleness** — the sum of cached parameter version counters is
+  compared per call (a few µs); an optimizer step or re-quantization
+  changes it and forces a recompile through the content-addressed
+  cache.  In-place ``param.data[...] = ...`` writes bypass the version
+  counters — the same caveat as every version-keyed cache in
+  :mod:`repro.perf.cache`.
+* **transparent fallback** — forward hooks (audit lockstep mode),
+  training mode, unsupported modules, or inputs outside the compiled
+  shape/dtype envelope route the call through the reference
+  interpreter, recording the reason in
+  ``backend_fallbacks_total{backend=,reason=}`` and
+  :attr:`CompiledForward.last_fallback_reason`.
+
+Compiles are traced as ``backend.compile`` spans and timed into the
+``backend_compile_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ...exceptions import ConfigurationError, LoweringError
+from ...obs import get_metrics, get_tracer
+from ...perf.compile_cache import get_compile_cache, kernel_key, structure_key
+from ..module import Module
+from .fused import FusedBackend
+from .lowering import constant_bindings, lower
+from .numba_backend import NumbaBackend, numba_available
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CompiledForward",
+    "get_backend",
+    "resolve_backend_name",
+]
+
+BACKEND_NAMES = ("auto", "reference", "fused", "numba")
+
+_BACKENDS = {
+    "fused": FusedBackend(),
+    "numba": NumbaBackend(),
+}
+
+#: binding names that are runtime support, not model constants
+_NON_CONSTANT_BINDINGS = frozenset({"np", "_GELU_C"})
+
+
+def resolve_backend_name(name: "str | None" = None) -> str:
+    """Validated concrete backend name for a requested one.
+
+    ``None`` consults ``REPRO_BACKEND`` and defaults to ``auto``;
+    ``auto`` resolves to ``fused``.  Unknown names and ``numba`` without
+    an importable numba raise :class:`ConfigurationError`, matching the
+    CLI's validation conventions.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND") or "auto"
+    if not isinstance(name, str) or name.strip().lower() not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"backend must be auto|reference|fused|numba, got {name!r}"
+        )
+    key = name.strip().lower()
+    if key == "auto":
+        key = "fused"
+    if key == "numba" and not numba_available():
+        raise ConfigurationError(
+            "backend 'numba' requires the optional numba package "
+            "(install the repro[numba] extra)"
+        )
+    return key
+
+
+def get_backend(name: str):
+    """The backend singleton registered under a concrete (resolved) name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(f"no compiled backend named {name!r}") from None
+
+
+class CompiledForward:
+    """A model bound to a backend, safe to call wherever ``model(x)`` was.
+
+    ``backend=None`` resolves via ``REPRO_BACKEND``/``auto``.  With the
+    reference backend this is a zero-overhead passthrough.  Compiled
+    backends lower once per weight version (asserted by
+    ``stats["lowerings"]``), share generated source through the on-disk
+    compile cache, and fall back to the interpreter whenever running the
+    kernel could change observable behavior.
+    """
+
+    def __init__(self, model: Module, backend: "str | None" = None) -> None:
+        self.model = model
+        self.backend_name = resolve_backend_name(backend)
+        self._modules = list(model.modules())
+        self._params = list(model.parameters())
+        self._kernel = None
+        self._kernel_version: "int | None" = None
+        self._unsupported_version: "int | None" = None
+        self._unsupported_detail: "str | None" = None
+        self.last_fallback_reason: "str | None" = None
+        self.stats = {
+            "calls": 0,
+            "lowerings": 0,
+            "compiles": 0,
+            "fallbacks": 0,
+        }
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.backend_name == "reference":
+            return self.model(x)
+        self.stats["calls"] += 1
+        self.last_fallback_reason = None
+        for module in self._modules:
+            if module._forward_hooks:
+                return self._fallback(x, "forward-hooks")
+            if module.training:
+                return self._fallback(x, "training-mode")
+        version = 0
+        for param in self._params:
+            version += param.version
+        if version == self._unsupported_version:
+            return self._fallback(x, "unsupported-module", self._unsupported_detail)
+        if self._kernel is None or self._kernel_version != version:
+            try:
+                self._kernel = self._compile(version)
+            except LoweringError as exc:
+                self._mark_unsupported(version, str(exc))
+                return self._fallback(x, "unsupported-module", str(exc))
+            self._kernel_version = version
+        reason = self._input_guard(x)
+        if reason is not None:
+            return self._fallback(x, reason)
+        try:
+            return self._kernel(x)
+        except LoweringError as exc:  # lazy jit failure (numba)
+            self._kernel = None
+            self._mark_unsupported(version, str(exc))
+            return self._fallback(x, "unsupported-module", str(exc))
+
+    # -- internals -----------------------------------------------------
+
+    def _mark_unsupported(self, version: int, detail: str) -> None:
+        self._unsupported_version = version
+        self._unsupported_detail = detail
+
+    def _fallback(self, x: np.ndarray, reason: str, detail: "str | None" = None) -> np.ndarray:
+        self.last_fallback_reason = detail or reason
+        self.stats["fallbacks"] += 1
+        get_metrics().counter(
+            "backend_fallbacks_total", backend=self.backend_name, reason=reason
+        ).inc()
+        return self.model(x)
+
+    def _input_guard(self, x: np.ndarray) -> "str | None":
+        if not isinstance(x, np.ndarray) or not np.issubdtype(x.dtype, np.floating):
+            return "input-dtype"
+        kind, width = self._kernel.program.input_spec
+        if kind == "2d":
+            if x.ndim != 2 or (width is not None and x.shape[1] != width):
+                return "input-shape"
+        elif kind == "flat":
+            if x.ndim < 2 or (
+                width is not None and int(np.prod(x.shape[1:])) != width
+            ):
+                return "input-shape"
+        return None
+
+    def _compile(self, version: int):
+        cache = get_compile_cache()
+        backend = get_backend(self.backend_name)
+        program = lower(self.model)
+        self.stats["lowerings"] += 1
+        constants = sorted(
+            (name, value)
+            for name, value in constant_bindings(program).items()
+            if name not in _NON_CONSTANT_BINDINGS
+        )
+        kkey = kernel_key(program.signature, self.backend_name, constants, version)
+        kernel = cache.get_kernel(kkey)
+        if kernel is not None:
+            return kernel
+        skey = structure_key(program.signature, self.backend_name)
+        started = time.perf_counter()
+        with get_tracer().span(
+            "backend.compile", backend=self.backend_name, weight_version=version
+        ):
+            source = cache.get_source(skey, program.signature, self.backend_name)
+            if source is None:
+                source = backend.generate(program)
+                cache.put_source(skey, program.signature, self.backend_name, source)
+            kernel = backend.bind(program, source)
+        self.stats["compiles"] += 1
+        get_metrics().histogram(
+            "backend_compile_seconds", backend=self.backend_name
+        ).observe(time.perf_counter() - started)
+        cache.put_kernel(kkey, kernel)
+        return kernel

@@ -1,0 +1,302 @@
+"""Fused pure-numpy backend: one generated closure per model structure.
+
+The generated source replays the lowered program as straight-line code —
+no ``Sequential`` loop, no ``Module.__call__`` hook checks, no per-layer
+``isinstance``/shape re-validation — and recycles preallocated matmul
+buffers (``np.matmul(..., out=B[slot])``) plus in-place bias adds and
+tanh where aliasing rules allow, eliminating most temporary churn.
+
+Bit-exactness with the reference interpreter is the contract, so every
+emitted expression is the *identical* numpy expression the reference
+layer evaluates — same ufuncs, same operand order, same scalar types:
+
+* weights stay the transposed **view** ``weight.data.T`` (F-contiguous);
+  a contiguous copy would route BLAS through a different gemm kernel
+  with different rounding;
+* ``np.matmul(x, Wt, out=buf)`` into a fresh C-contiguous buffer of the
+  result dtype produces the same bytes as ``x @ Wt``; likewise
+  ``np.add(v, b, out=v)`` vs ``v + b`` and ``np.tanh(v, out=v)`` vs
+  ``np.tanh(v)``;
+* ReLU stays ``np.where(v > 0, v, 0.0)`` — ``np.maximum`` treats NaN
+  and ``-0.0`` differently and a mask-multiply breaks on ``±inf``;
+* PReLU binds the ``np.float32`` scalar the reference reads from its
+  slope parameter; LeakyReLU inlines the Python-float slope literal via
+  ``repr`` (round-trip exact).
+
+In-place writes are only emitted into buffers or call-owned temporaries
+that are not a pending residual-skip operand, and the value returned to
+the caller is never a reused buffer (the caller retains outputs; the
+next call would overwrite them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .lowering import GELU_C, LoweredOp, LoweredProgram, constant_bindings
+
+__all__ = ["FusedBackend", "FusedKernel", "generate_fused_source"]
+
+#: buffer sets retained per thread (distinct (batch, dtype) pairs)
+_BUFFER_SETS = 8
+
+
+class _Codegen:
+    """Emit straight-line source for a lowered program.
+
+    Tracks, per variable, whether it aliases the caller's input, a
+    reusable buffer slot, or a call-owned fresh array — the three cases
+    that decide where in-place writes are legal and what may be
+    returned.  ``tail=True`` marks an op whose result reaches the
+    caller unchanged (possibly through trailing ``Identity`` layers):
+    tail ops must allocate fresh output instead of handing back a
+    buffer.
+    """
+
+    def __init__(self, program: LoweredProgram) -> None:
+        self.program = program
+        self.lines = ["def _fused_forward(x, B):"]
+        self._counter = itertools.count()
+        self.kind = {"x": "input"}
+        self.protected: set = set()
+
+    def fresh(self) -> str:
+        return f"v{next(self._counter)}"
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def run(self) -> str:
+        out = self.emit_ops(self.program.ops, "x", tail=True)
+        if self.kind[out] == "buffer":  # safety net; tail logic should prevent this
+            safe = self.fresh()
+            self.line(f"{safe} = {out}.copy()")
+            out = safe
+        self.line(f"return {out}")
+        return "\n".join(self.lines) + "\n"
+
+    def emit_ops(self, ops: "list[LoweredOp]", var: str, tail: bool) -> str:
+        for i, op in enumerate(ops):
+            op_tail = tail and all(o.kind == "identity" for o in ops[i + 1 :])
+            var = self.emit_op(op, var, op_tail)
+        return var
+
+    def _can_inplace(self, var: str, tail: bool) -> bool:
+        kind = self.kind[var]
+        if kind == "input" or var in self.protected:
+            return False
+        return not (tail and kind == "buffer")
+
+    def emit_op(self, op: LoweredOp, var: str, tail: bool) -> str:
+        if op.kind == "identity":
+            return var
+        if op.kind == "flatten":
+            r = self.fresh()
+            self.line(f"{r} = {var}.reshape({var}.shape[0], -1)")
+            self.kind[r] = self.kind[var]  # reshape is a view of its operand
+            return r
+        if op.kind == "linear":
+            return self._emit_linear(op, var, tail)
+        if op.kind == "residual":
+            return self._emit_residual(op, var, tail)
+        return self._emit_elementwise(op, var, tail)
+
+    def _emit_elementwise(self, op: LoweredOp, var: str, tail: bool) -> str:
+        if op.kind == "tanh" and self._can_inplace(var, tail):
+            self.line(f"np.tanh({var}, out={var})")
+            return var
+        r = self.fresh()
+        if op.kind == "relu":
+            self.line(f"{r} = np.where({var} > 0, {var}, 0.0)")
+        elif op.kind == "leaky_relu":
+            self.line(f"{r} = np.where({var} > 0, {var}, {op.slope!r} * {var})")
+        elif op.kind == "prelu":
+            self.line(f"{r} = np.where({var} > 0, {var}, s{op.index} * {var})")
+        elif op.kind == "tanh":
+            self.line(f"{r} = np.tanh({var})")
+        elif op.kind == "sigmoid":
+            self.line(f"{r} = 1.0 / (1.0 + np.exp(-{var}))")
+        elif op.kind == "gelu":
+            self.line(
+                f"{r} = 0.5 * {var} * (1.0 + np.tanh(_GELU_C * "
+                f"({var} + 0.044715 * {var}**3)))"
+            )
+        else:  # pragma: no cover - lowering emits only the kinds above
+            raise AssertionError(f"unknown op kind {op.kind!r}")
+        self.kind[r] = "fresh"
+        return r
+
+    def _emit_linear(self, op: LoweredOp, var: str, tail: bool) -> str:
+        weight = f"W{op.index}_t"
+        if op.bias is None:
+            r = self.fresh()
+            if tail:
+                self.line(f"{r} = {var} @ {weight}")
+                self.kind[r] = "fresh"
+            else:
+                self.line(f"{r} = np.matmul({var}, {weight}, out=B[{op.slot}])")
+                self.kind[r] = "buffer"
+            return r
+        m = self.fresh()
+        self.line(f"{m} = np.matmul({var}, {weight}, out=B[{op.slot}])")
+        self.kind[m] = "buffer"
+        if not tail and op.inplace_bias_ok and m not in self.protected:
+            self.line(f"np.add({m}, b{op.index}, out={m})")
+            return m
+        r = self.fresh()
+        self.line(f"{r} = {m} + b{op.index}")
+        self.kind[r] = "fresh"
+        return r
+
+    def _emit_residual(self, op: LoweredOp, var: str, tail: bool) -> str:
+        # the skip operand must survive body/shortcut emission unmutated;
+        # an enclosing residual may already be protecting it
+        added = []
+        if var not in self.protected:
+            self.protected.add(var)
+            added.append(var)
+        branch = self.emit_ops(op.body, var, tail=False)
+        if branch not in self.protected:
+            self.protected.add(branch)
+            added.append(branch)
+        skip = var if op.shortcut is None else self.emit_ops(op.shortcut, var, tail=False)
+        r = self.fresh()
+        self.line(f"{r} = {branch} + {skip}")
+        self.kind[r] = "fresh"
+        for name in added:
+            self.protected.discard(name)
+        if op.post is not None:
+            r = self.emit_ops(op.post, r, tail)
+        return r
+
+
+def generate_fused_source(program: LoweredProgram) -> str:
+    """Deterministic source text for ``program`` (structure only, no weights)."""
+    return _Codegen(program).run()
+
+
+_PROBE_DTYPES: dict = {}
+
+
+def _elementwise_dtype(op: LoweredOp, running: np.dtype) -> np.dtype:
+    """Output dtype of an element-wise op, measured, not assumed.
+
+    Scalar/array promotion rules differ between numpy's legacy
+    value-based casting and NEP 50; evaluating the reference expression
+    on a one-element array gives the answer this interpreter actually
+    produces, whichever regime is active.
+    """
+    key = (op.kind, repr(op.slope), str(running))
+    dtype = _PROBE_DTYPES.get(key)
+    if dtype is None:
+        z = np.ones(1, dtype=running)
+        if op.kind == "relu":
+            r = np.where(z > 0, z, 0.0)
+        elif op.kind in ("leaky_relu", "prelu"):
+            r = np.where(z > 0, z, op.slope * z)
+        elif op.kind == "tanh":
+            r = np.tanh(z)
+        elif op.kind == "sigmoid":
+            r = 1.0 / (1.0 + np.exp(-z))
+        elif op.kind == "gelu":
+            r = 0.5 * z * (1.0 + np.tanh(GELU_C * (z + 0.044715 * z**3)))
+        else:
+            r = z
+        dtype = _PROBE_DTYPES[key] = r.dtype
+    return dtype
+
+
+def _propagate_dtypes(ops: "list[LoweredOp]", running: np.dtype, slots: list) -> np.dtype:
+    for op in ops:
+        if op.kind == "linear":
+            out = np.result_type(running, op.weight_t.dtype)
+            slots[op.slot] = out
+            if op.bias is not None:
+                out = np.result_type(out, op.bias.dtype)
+            running = out
+        elif op.kind == "residual":
+            branch = _propagate_dtypes(op.body, running, slots)
+            skip = (
+                running
+                if op.shortcut is None
+                else _propagate_dtypes(op.shortcut, running, slots)
+            )
+            running = np.result_type(branch, skip)
+            if op.post is not None:
+                running = _propagate_dtypes(op.post, running, slots)
+        elif op.kind in ("identity", "flatten"):
+            continue
+        else:
+            running = _elementwise_dtype(op, running)
+    return running
+
+
+def slot_dtypes(program: LoweredProgram, x_dtype) -> list:
+    """Per-slot buffer dtypes for an input of ``x_dtype``.
+
+    ``np.matmul(..., out=buf)`` is only bit-identical to ``x @ Wt`` when
+    ``buf`` already has the result dtype, so buffers are sized to the
+    dtype each matmul would naturally produce.
+    """
+    slots = [None] * program.n_linear
+    _propagate_dtypes(program.ops, np.dtype(x_dtype), slots)
+    return slots
+
+
+class FusedKernel:
+    """A bound fused closure plus its per-thread buffer pool.
+
+    Buffers are keyed by ``(batch, input dtype)`` and held in
+    ``threading.local`` storage: concurrent pipeline threads never share
+    scratch space, and fork-based pools inherit the compiled closure
+    for free.
+    """
+
+    def __init__(self, program: LoweredProgram, fn) -> None:
+        self.program = program
+        self.fn = fn
+        self._local = threading.local()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x, self._buffers(x))
+
+    def _buffers(self, x: np.ndarray) -> list:
+        if not self.program.slot_widths:
+            return []
+        cache = getattr(self._local, "buffers", None)
+        if cache is None:
+            cache = self._local.buffers = OrderedDict()
+        key = (x.shape[0], str(x.dtype))
+        buffers = cache.get(key)
+        if buffers is None:
+            n = x.shape[0]
+            dtypes = slot_dtypes(self.program, x.dtype)
+            buffers = [
+                np.empty((n, width), dtype=dtype)
+                for width, dtype in zip(self.program.slot_widths, dtypes)
+            ]
+            cache[key] = buffers
+            while len(cache) > _BUFFER_SETS:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return buffers
+
+
+class FusedBackend:
+    """Pure-numpy trace-and-replay linker."""
+
+    name = "fused"
+
+    def generate(self, program: LoweredProgram) -> str:
+        return generate_fused_source(program)
+
+    def bind(self, program: LoweredProgram, source: str) -> FusedKernel:
+        namespace = constant_bindings(program)
+        code = compile(source, "<repro-fused-kernel>", "exec")
+        exec(code, namespace)
+        return FusedKernel(program, namespace["_fused_forward"])

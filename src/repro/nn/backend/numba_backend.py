@@ -1,0 +1,194 @@
+"""Optional numba backend: njit over the same lowered program.
+
+Numba is an *optional* extra — the import is guarded, availability is
+probed lazily, and :func:`~repro.nn.backend.base.resolve_backend_name`
+rejects an explicit ``--backend numba`` request when the wheel is
+absent, so nothing in this module runs without it.
+
+The generated kernel differs from the fused backend's in two ways
+forced by numba's semantics:
+
+* **no ``out=`` recycling** — numba's ``np.dot`` lowering has no out
+  parameter, so every op allocates fresh (nopython allocation is cheap
+  and the dispatch win dominates);
+* **typed scalars as arguments** — numba types Python float literals as
+  float64 and would widen float32 math, so every scalar the reference
+  uses (slopes, the relu zero, sigmoid's ``1.0``) is passed in already
+  cast to the dtype the reference's weak-promotion rules would compute
+  in (``x.dtype.type(value)``).  ``np.where(v > Z, v, Z)`` with a typed
+  zero is element-wise identical to the reference
+  ``np.where(v > 0, v, 0.0)`` including NaN and signed-zero handling.
+
+GELU is not lowered here: the reference multiplies by a float64
+``np.sqrt(2/pi)`` scalar, whose promotion against float32 inputs is
+numpy-version-dependent — anything we generated could silently diverge
+from the interpreter actually running, so GELU models fall back.
+
+Compilation is lazy (njit specializes on first call); any numba typing
+or lowering failure is converted to :class:`LoweringError` so the
+caller degrades to the reference path instead of crashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import LoweringError
+from .lowering import LoweredOp, LoweredProgram, _iter_ops
+
+__all__ = ["NumbaBackend", "NumbaKernel", "numba_available", "generate_numba_source"]
+
+_NUMBA = None
+_NUMBA_CHECKED = False
+
+
+def numba_available() -> bool:
+    """True when the optional numba package imports cleanly."""
+    global _NUMBA, _NUMBA_CHECKED
+    if not _NUMBA_CHECKED:
+        try:
+            import numba  # type: ignore
+
+            _NUMBA = numba
+        except Exception:
+            _NUMBA = None
+        _NUMBA_CHECKED = True
+    return _NUMBA is not None
+
+
+def arg_spec(program: LoweredProgram):
+    """Deterministic (names, arrays, raw scalars) for the kernel signature.
+
+    Pre-order walk, so codegen and call-time binding agree across
+    processes; ``ONE``/``ZERO`` typed constants close the list.
+    """
+    names: list = []
+    arrays: list = []
+    scalars: list = []
+    for op in _iter_ops(program.ops):
+        if op.kind == "linear":
+            names.append(f"W{op.index}_t")
+            arrays.append(op.weight_t)
+            if op.bias is not None:
+                names.append(f"b{op.index}")
+                arrays.append(op.bias)
+        elif op.kind in ("leaky_relu", "prelu"):
+            names.append(f"c{op.index}")
+            scalars.append(op.slope)
+    names.extend(["ONE", "ZERO"])
+    return names, arrays, scalars
+
+
+class _NumbaCodegen:
+    def __init__(self, program: LoweredProgram) -> None:
+        self.program = program
+        names, _arrays, _scalars = arg_spec(program)
+        self.lines = [f"def _numba_forward(x, {', '.join(names)}):"]
+        self._counter = 0
+
+    def fresh(self) -> str:
+        name = f"v{self._counter}"
+        self._counter += 1
+        return name
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def run(self) -> str:
+        out = self.emit_ops(self.program.ops, "x")
+        self.line(f"return {out}")
+        return "\n".join(self.lines) + "\n"
+
+    def emit_ops(self, ops: "list[LoweredOp]", var: str) -> str:
+        for op in ops:
+            var = self.emit_op(op, var)
+        return var
+
+    def emit_op(self, op: LoweredOp, var: str) -> str:
+        if op.kind == "identity":
+            return var
+        r = self.fresh()
+        if op.kind == "flatten":
+            self.line(f"{r} = {var}.reshape({var}.shape[0], -1)")
+        elif op.kind == "linear":
+            self.line(f"{r} = {var} @ W{op.index}_t")
+            if op.bias is not None:
+                r2 = self.fresh()
+                self.line(f"{r2} = {r} + b{op.index}")
+                r = r2
+        elif op.kind == "relu":
+            self.line(f"{r} = np.where({var} > ZERO, {var}, ZERO)")
+        elif op.kind in ("leaky_relu", "prelu"):
+            self.line(f"{r} = np.where({var} > ZERO, {var}, c{op.index} * {var})")
+        elif op.kind == "tanh":
+            self.line(f"{r} = np.tanh({var})")
+        elif op.kind == "sigmoid":
+            self.line(f"{r} = ONE / (ONE + np.exp(-{var}))")
+        elif op.kind == "residual":
+            branch = self.emit_ops(op.body, var)
+            skip = var if op.shortcut is None else self.emit_ops(op.shortcut, var)
+            self.line(f"{r} = {branch} + {skip}")
+            if op.post is not None:
+                r = self.emit_ops(op.post, r)
+        else:
+            raise LoweringError(f"op {op.kind!r} has no numba lowering")
+        return r
+
+
+def generate_numba_source(program: LoweredProgram) -> str:
+    """Deterministic numba-compatible source for ``program``."""
+    for op in _iter_ops(program.ops):
+        if op.kind == "gelu":
+            raise LoweringError(
+                "GELU is not lowered to numba (float64-scalar promotion is "
+                "numpy-version-dependent); falling back to reference"
+            )
+    return _NumbaCodegen(program).run()
+
+
+class NumbaKernel:
+    """A jitted kernel plus its per-call typed-scalar binding."""
+
+    def __init__(self, program: LoweredProgram, fn, arrays, scalars) -> None:
+        self.program = program
+        self.fn = fn
+        self.arrays = tuple(arrays)
+        self.raw_scalars = tuple(scalars)
+        self._typed: dict = {}
+
+    def _scalars(self, dtype: np.dtype) -> tuple:
+        key = str(dtype)
+        typed = self._typed.get(key)
+        if typed is None:
+            cast = dtype.type
+            typed = tuple(cast(value) for value in self.raw_scalars) + (
+                cast(1.0),
+                cast(0.0),
+            )
+            self._typed[key] = typed
+        return typed
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        try:
+            return self.fn(x, *self.arrays, *self._scalars(x.dtype))
+        except Exception as exc:  # typing/lowering failures surface lazily
+            raise LoweringError(f"numba kernel failed: {exc}") from exc
+
+
+class NumbaBackend:
+    """njit-compiled fused kernel over the lowered program."""
+
+    name = "numba"
+
+    def generate(self, program: LoweredProgram) -> str:
+        return generate_numba_source(program)
+
+    def bind(self, program: LoweredProgram, source: str) -> NumbaKernel:
+        if not numba_available():  # pragma: no cover - resolve_backend_name gates this
+            raise LoweringError("numba is not importable")
+        namespace = {"np": np}
+        code = compile(source, "<repro-numba-kernel>", "exec")
+        exec(code, namespace)
+        jitted = _NUMBA.njit(cache=False, fastmath=False)(namespace["_numba_forward"])
+        _names, arrays, scalars = arg_spec(program)
+        return NumbaKernel(program, jitted, arrays, scalars)

@@ -234,15 +234,18 @@ def test_record_raw_adopts_bytes_verbatim(tmp_path):
         assert handle.read() == data
 
 
-# -- executor resolution (satellite: auto never picks the thread pool) -------
+# -- executor resolution (the thread inference executor was removed) ---------
 
 
-def test_auto_executor_never_picks_thread_pool():
+def test_thread_executor_removed_and_auto_never_picked_it():
     expected = "process" if fork_available() else "serial"
     assert InferencePipeline._resolve_executor("auto", 4) == expected
     assert InferencePipeline._resolve_executor("auto", 1) == "serial"
-    assert InferencePipeline._resolve_executor("thread", 4) == "thread"
     assert InferencePipeline._resolve_executor("distributed", 1) == "distributed"
+    # the GIL-bound thread pool is no longer an inference executor
+    # (BENCH_pr4 showed no speedup; threads remain for chunked I/O)
+    with pytest.raises(ConfigurationError):
+        InferencePipeline._resolve_executor("thread", 4)
     with pytest.raises(ConfigurationError):
         InferencePipeline._resolve_executor("fancy", 2)
 

@@ -1,0 +1,383 @@
+"""Tests for the compiled multi-backend execution engine.
+
+The contract under test is *bit-exactness*: for every supported model the
+fused (and, when installed, numba) backend must return ``np.array_equal``
+outputs to the interpreted reference path — across activations, spectral
+parameterization, residual skips, and every Table-I numeric format — and
+must fall back to the interpreter, with the reason recorded, whenever
+running the kernel could change observable behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ErrorFlowAnalyzer, InferencePipeline, TolerancePlanner
+from repro.compress import SZCompressor
+from repro.exceptions import ConfigurationError, LoweringError
+from repro.models import build_mlp
+from repro.nn import Identity, Linear, Module, ReLU, Sequential, Tanh
+from repro.nn.backend import (
+    BACKEND_NAMES,
+    CompiledForward,
+    generate_fused_source,
+    lower,
+    numba_available,
+    resolve_backend_name,
+)
+from repro.nn.residual import ResidualBlock
+from repro.perf import CompileCache, kernel_key, reset_compile_cache, structure_key
+from repro.quant import STANDARD_FORMATS, quantize_model
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="optional numba package not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _memory_only_cache(monkeypatch):
+    """Isolate every test from the user's on-disk kernel cache."""
+    monkeypatch.setenv("REPRO_COMPILE_CACHE_DIR", "")
+    reset_compile_cache()
+    yield
+    reset_compile_cache()
+
+
+def _compiled(model, backend="fused"):
+    model.eval()
+    return CompiledForward(model, backend)
+
+
+# -- bit-exactness: fused vs reference ---------------------------------------
+
+
+ACTIVATION_NAMES = ["relu", "leaky_relu", "prelu", "tanh", "sigmoid", "gelu"]
+
+
+@given(
+    widths=st.lists(st.integers(1, 9), min_size=0, max_size=3),
+    activation=st.sampled_from(ACTIVATION_NAMES),
+    spectral=st.booleans(),
+    fmt=st.sampled_from(sorted(STANDARD_FORMATS)),
+    batch=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_fused_bit_exact_random_chain(widths, activation, spectral, fmt, batch, seed):
+    """Random chain models x Table-I formats: fused == reference, bitwise."""
+    rng = np.random.default_rng(seed)
+    model = build_mlp(4, widths, 3, activation=activation, spectral=spectral, rng=rng)
+    quantized = quantize_model(model, STANDARD_FORMATS[fmt]).model
+    x = rng.standard_normal((batch, 4)).astype(np.float32)
+
+    forward = _compiled(quantized)
+    expected = quantized(x)
+    actual = forward(x)
+    assert forward.last_fallback_reason is None
+    assert actual.dtype == expected.dtype
+    assert np.array_equal(actual, expected)
+
+
+def _residual_model(rng):
+    body = Sequential(Linear(6, 6, rng=rng), Tanh(), Linear(6, 6, rng=rng))
+    return Sequential(
+        Linear(4, 6, rng=rng),
+        ReLU(),
+        ResidualBlock(body, post_activation=Tanh()),
+        ResidualBlock(Sequential(Linear(6, 6, rng=rng)), shortcut=Linear(6, 6, rng=rng)),
+        Linear(6, 2, rng=rng),
+        Identity(),
+    )
+
+
+@given(batch=st.integers(1, 6), seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_fused_bit_exact_residual(batch, seed):
+    rng = np.random.default_rng(seed)
+    model = _residual_model(rng)
+    x = rng.standard_normal((batch, 4)).astype(np.float32)
+    forward = _compiled(model)
+    assert np.array_equal(forward(x), model(x))
+    assert forward.last_fallback_reason is None
+
+
+def test_fused_bit_exact_nonfinite_inputs(rng):
+    """NaN/inf survive the compiled path unchanged (equal_nan semantics)."""
+    model = build_mlp(4, [8], 3, activation="tanh", spectral=False, rng=rng)
+    model.eval()
+    x = rng.standard_normal((8, 4)).astype(np.float32)
+    x[0, 0] = np.nan
+    x[1, 1] = np.inf
+    x[2, 2] = -np.inf
+    forward = CompiledForward(model, "fused")
+    assert np.array_equal(forward(x), model(x), equal_nan=True)
+
+
+@requires_numba
+@given(
+    widths=st.lists(st.integers(1, 8), min_size=0, max_size=2),
+    activation=st.sampled_from(["relu", "tanh", "sigmoid", "prelu"]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_numba_bit_exact_random_chain(widths, activation, seed):
+    rng = np.random.default_rng(seed)
+    model = build_mlp(4, widths, 3, activation=activation, spectral=False, rng=rng)
+    model.eval()
+    x = rng.standard_normal((3, 4)).astype(np.float32)
+    forward = CompiledForward(model, "numba")
+    assert np.array_equal(forward(x), model(x))
+    assert forward.last_fallback_reason is None
+
+
+# -- fallback matrix ---------------------------------------------------------
+
+
+def test_forward_hook_forces_fallback_then_resumes(tiny_mlp, rng):
+    """Hook registration (audit lockstep) must route through the interpreter."""
+    tiny_mlp.eval()
+    forward = CompiledForward(tiny_mlp, "fused")
+    x = rng.standard_normal((4, 6)).astype(np.float32)
+    assert forward.last_fallback_reason is None
+
+    forward(x)  # compiled path first, proves the hook check is per-call
+    seen = []
+    handle = tiny_mlp.register_forward_hook(lambda m, i, o: seen.append(m))
+    hooked = forward(x)
+    assert forward.last_fallback_reason == "forward-hooks"
+    assert seen, "fallback must actually run the hooked interpreter"
+    assert np.array_equal(hooked, tiny_mlp(x))
+
+    handle.remove()
+    seen.clear()
+    forward(x)
+    assert forward.last_fallback_reason is None
+    assert not seen
+
+
+def test_training_mode_forces_fallback(tiny_mlp, rng):
+    tiny_mlp.train()
+    forward = CompiledForward(tiny_mlp, "fused")
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    assert np.array_equal(forward(x), tiny_mlp(x))
+    assert forward.last_fallback_reason == "training-mode"
+    tiny_mlp.eval()
+    forward(x)
+    assert forward.last_fallback_reason is None
+
+
+class _Opaque(Module):
+    """A module the lowering pass has no rule for."""
+
+    def forward(self, x):
+        return x * 2.0
+
+
+def test_unsupported_module_falls_back_and_memoizes(rng, monkeypatch):
+    model = Sequential(Linear(4, 4, rng=rng), _Opaque())
+    model.eval()
+    import repro.nn.backend.base as base_mod
+
+    attempts = []
+    real_lower = base_mod.lower
+    monkeypatch.setattr(
+        base_mod, "lower", lambda m: attempts.append(m) or real_lower(m)
+    )
+    forward = CompiledForward(model, "fused")
+    x = rng.standard_normal((2, 4)).astype(np.float32)
+    assert np.array_equal(forward(x), model(x))
+    assert "_Opaque" in forward.last_fallback_reason
+    forward(x)
+    # lowering is attempted once per weight version, not once per call
+    assert len(attempts) == 1
+    assert forward.stats["fallbacks"] == 2
+
+
+def test_input_shape_and_dtype_guards(tiny_mlp, rng):
+    tiny_mlp.eval()
+    forward = CompiledForward(tiny_mlp, "fused")
+    # Linear broadcasts over leading dims; the 2-d kernel envelope does not
+    batched_3d = rng.standard_normal((2, 3, 6)).astype(np.float32)
+    assert np.array_equal(forward(batched_3d), tiny_mlp(batched_3d))
+    assert forward.last_fallback_reason == "input-shape"
+    ints = np.ones((2, 6), dtype=np.int32)
+    assert np.array_equal(forward(ints), tiny_mlp(ints))
+    assert forward.last_fallback_reason == "input-dtype"
+
+
+def test_lowering_rejects_training_spectral(rng):
+    model = build_mlp(4, [5], 2, activation="tanh", spectral=True, rng=rng)
+    model.train()
+    with pytest.raises(LoweringError):
+        lower(model)
+
+
+# -- staleness / recompile discipline ----------------------------------------
+
+
+def test_exactly_one_lowering_across_calls_and_batch_sizes(tiny_mlp, rng):
+    """Warm cache: one lowering and one compile per (structure, weight_version)."""
+    tiny_mlp.eval()
+    forward = CompiledForward(tiny_mlp, "fused")
+    for batch in (1, 3, 7, 3, 1, 64):
+        x = rng.standard_normal((batch, 6)).astype(np.float32)
+        assert np.array_equal(forward(x), tiny_mlp(x))
+    assert forward.stats["lowerings"] == 1
+    assert forward.stats["compiles"] == 1
+    assert forward.stats["fallbacks"] == 0
+
+
+def test_weight_update_invalidates_kernel(tiny_mlp, rng):
+    """Regression: a stale kernel must never serve old weights."""
+    tiny_mlp.eval()
+    forward = CompiledForward(tiny_mlp, "fused")
+    x = rng.standard_normal((3, 6)).astype(np.float32)
+    before = forward(x)
+    assert np.array_equal(before, tiny_mlp(x))
+
+    lin = next(m for m in tiny_mlp.modules() if isinstance(m, Linear))
+    lin.weight.data = lin.weight.data * 1.5  # setter bumps the version counter
+
+    after = forward(x)
+    assert forward.stats["lowerings"] == 2, "version bump must force a recompile"
+    assert np.array_equal(after, tiny_mlp(x))
+    assert not np.array_equal(after, before)
+
+
+def test_kernel_key_differs_for_different_weights(rng):
+    rng2 = np.random.default_rng(999)
+    a = build_mlp(4, [5], 2, activation="relu", spectral=False, rng=rng)
+    b = build_mlp(4, [5], 2, activation="relu", spectral=False, rng=rng2)
+    a.eval(), b.eval()
+    pa, pb = lower(a), lower(b)
+    assert pa.signature == pb.signature  # same structure...
+    from repro.nn.backend.lowering import constant_bindings
+
+    ca = sorted((k, v) for k, v in constant_bindings(pa).items() if k.startswith(("W", "b")))
+    cb = sorted((k, v) for k, v in constant_bindings(pb).items() if k.startswith(("W", "b")))
+    assert kernel_key(pa.signature, "fused", ca, 0) != kernel_key(
+        pb.signature, "fused", cb, 0
+    )  # ...but content-distinct kernels
+    assert structure_key(pa.signature, "fused") == structure_key(pb.signature, "fused")
+
+
+def test_disk_source_cache_shared_across_instances(tmp_path, tiny_mlp, rng):
+    """A second process-alike cache reuses the generated source from disk."""
+    tiny_mlp.eval()
+    program = lower(tiny_mlp)
+    source = generate_fused_source(program)
+    skey = structure_key(program.signature, "fused")
+
+    writer = CompileCache(directory=tmp_path)
+    assert writer.get_source(skey, program.signature, "fused") is None
+    writer.put_source(skey, program.signature, "fused", source)
+
+    reader = CompileCache(directory=tmp_path)  # fresh memory, same disk
+    assert reader.get_source(skey, program.signature, "fused") == source
+    assert reader.stats["source_disk_hits"] == 1
+    assert reader.stats["source_generated"] == 0
+
+    # a tampered/collided entry degrades to a miss, never a wrong kernel
+    # (fresh cache: the memory level only holds keys this process validated)
+    collided = CompileCache(directory=tmp_path)
+    assert collided.get_source(skey, program.signature + "-other", "fused") is None
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path, tiny_mlp):
+    tiny_mlp.eval()
+    program = lower(tiny_mlp)
+    skey = structure_key(program.signature, "fused")
+    (tmp_path / f"{skey}.json").write_text("{not json")
+    cache = CompileCache(directory=tmp_path)
+    assert cache.get_source(skey, program.signature, "fused") is None
+
+
+# -- backend selection (CLI / env contract) ----------------------------------
+
+
+def test_resolve_backend_names(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend_name(None) == "fused"  # auto default
+    assert resolve_backend_name("auto") == "fused"
+    assert resolve_backend_name("reference") == "reference"
+    assert resolve_backend_name(" Fused ") == "fused"
+    assert set(BACKEND_NAMES) == {"auto", "reference", "fused", "numba"}
+
+
+def test_resolve_backend_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "reference")
+    assert resolve_backend_name(None) == "reference"
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ConfigurationError):
+        resolve_backend_name(None)
+
+
+def test_resolve_backend_rejects_unknown():
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_backend_name("cuda")
+    assert "auto|reference|fused|numba" in str(excinfo.value)
+
+
+@pytest.mark.skipif(numba_available(), reason="numba is installed here")
+def test_numba_backend_requires_package():
+    with pytest.raises(ConfigurationError):
+        resolve_backend_name("numba")
+
+
+# -- end-to-end: pipeline, planner and audit parity --------------------------
+
+
+def _run_pipeline(model, fields, backend):
+    planner = TolerancePlanner(ErrorFlowAnalyzer(model))
+    plan = planner.plan(5e-2, norm="linf", quant_fraction=0.5)
+    pipeline = InferencePipeline(model, SZCompressor(), plan, backend=backend)
+    return plan, pipeline.execute(fields)
+
+
+def test_pipeline_identical_across_backends(trained_spectral_mlp):
+    x = np.linspace(0, 2 * np.pi, 32)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+
+    plan_ref, ref = _run_pipeline(trained_spectral_mlp, fields, "reference")
+    plan_fused, fused = _run_pipeline(trained_spectral_mlp, fields, "fused")
+
+    # planner decisions are backend-independent
+    assert plan_ref.fmt == plan_fused.fmt
+    assert plan_ref.input_tolerance == plan_fused.input_tolerance
+    # and so is every observable output bit
+    assert np.array_equal(ref.outputs, fused.outputs)
+    assert np.array_equal(ref.reference_outputs, fused.reference_outputs)
+    assert ref.qoi_error("linf", relative=False) == fused.qoi_error(
+        "linf", relative=False
+    )
+    assert fused.extra["backend"]["name"] == "fused"
+    assert "fallback_quant" not in fused.extra["backend"]
+    assert ref.extra["backend"]["name"] == "reference"
+
+
+def test_audit_verdicts_identical_across_backends(trained_spectral_mlp, rng, monkeypatch):
+    from repro.obs.audit import LayerwiseErrorRecorder
+
+    clean = rng.uniform(-1, 1, (64, 5)).astype(np.float32)
+    perturbed = clean + rng.uniform(-1e-3, 1e-3, clean.shape).astype(np.float32)
+    quantized = quantize_model(trained_spectral_mlp, STANDARD_FORMATS["fp16"])
+
+    records = {}
+    for backend in ("reference", "fused"):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        recorder = LayerwiseErrorRecorder(trained_spectral_mlp, quantized)
+        records[backend] = recorder.audit(clean, perturbed)
+
+    ref, fused = records["reference"], records["fused"]
+    assert ref.verdict == fused.verdict
+    assert ref.qoi_observed == fused.qoi_observed
+    assert ref.qoi_predicted == fused.qoi_predicted
+    assert [layer.verdict for layer in ref.layers] == [
+        layer.verdict for layer in fused.layers
+    ]
