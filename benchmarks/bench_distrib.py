@@ -2,8 +2,9 @@
 """Loopback distributed-run benchmark: telemetry-plane overhead.
 
 Times one coordinator + two in-process shard workers over loopback TCP
-in three telemetry configurations and writes JSON rows of
-``{path, config, seconds, throughput_mb_s}``:
+in three telemetry configurations and writes the unified ``benchutils``
+row shape (``{path, config, seconds, reps_s, throughput_mb_s}`` —
+record with ``repro bench record`` to feed the regression history):
 
 * ``telemetry=off``       — tracing/metrics disabled, no endpoint;
 * ``telemetry=on``        — tracing + metrics + worker METRICS pushes,
@@ -27,14 +28,13 @@ run.  Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import threading
 import time
 import urllib.request
 
 import numpy as np
 
+from benchutils import finalize_rows, make_row, write_rows
 from repro import obs
 from repro.compress.sz import SZCompressor
 from repro.core.errorflow import ErrorFlowAnalyzer
@@ -158,29 +158,30 @@ def bench_distrib(side: int, reps: int) -> list[dict]:
     # like with like.  A sequential-block schedule on a busy 1-CPU host
     # reads drift as variant overhead.
     timed(variants[0][1])  # warmup: fork-pool + import costs
-    bests = {name: float("inf") for name, _ in variants}
+    times = {name: [] for name, _ in variants}
     for _ in range(reps):
         for name, variant in variants:
-            bests[name] = min(bests[name], timed(variant))
+            times[name].append(timed(variant))
 
     rows = []
     for name, variant in variants:
-        best = bests[name]
+        reps_s = times[name]
+        best = min(reps_s)
         rows.append(
-            {
-                "path": "distrib_loopback",
-                "config": {
+            make_row(
+                "distrib_loopback",
+                {
                     "telemetry": name,
                     "workers": 2,
                     "chunk_size": chunk_size,
                     "field_shape": list(fields.shape),
                     "poll_hz": variant["poll_hz"],
                     "reps": reps,
-                    "cpu_count": os.cpu_count(),
                 },
-                "seconds": best,
-                "throughput_mb_s": mb / best,
-            }
+                best,
+                reps_s=reps_s,
+                throughput_mb_s=mb / best,
+            )
         )
     baseline = rows[0]["seconds"]
     telemetry_on = rows[1]["seconds"]
@@ -210,14 +211,9 @@ def main() -> int:
 
     side = 32 if args.quick else 128
     reps = 1 if args.quick else 12
-    rows = bench_distrib(side, reps)
-    for row in rows:
-        row["config"]["quick"] = args.quick
+    rows = finalize_rows(bench_distrib(side, reps), args.quick)
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(rows, handle, indent=2)
-            handle.write("\n")
-        print(f"rows written -> {args.out}")
+        write_rows(rows, args.out)
     return 0
 
 

@@ -2,8 +2,10 @@
 """Forward-pass benchmark for the compiled execution backends.
 
 Times a single-sample (batch=1) forward pass — the serving-latency case
-— of a 4x1024-wide spectral PReLU MLP under each backend and writes JSON
-rows of ``{path, config, seconds, throughput_samples_s}``:
+— of a 4x1024-wide spectral PReLU MLP under each backend and writes the
+unified ``benchutils`` row shape (``{path, config, seconds, reps_s,
+throughput_samples_s}`` — record with ``repro bench record`` to feed the
+regression history):
 
 * ``reference``       — interpreted per-module dispatch (``model(x)``);
 * ``fused_cold``      — one cold call including lowering + codegen + bind
@@ -35,26 +37,16 @@ Bit-exactness is asserted before timing: every backend output must be
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
 import time
 
 import numpy as np
 
+from benchutils import best_of, finalize_rows, make_row, write_rows
 from repro.models import build_mlp
 from repro.nn.backend import CompiledForward, numba_available
 from repro.perf.compile_cache import CompileCache, get_compile_cache, reset_compile_cache
-
-
-def _best_of(fn, reps: int) -> float:
-    """Best-of-``reps`` wall time: robust to scheduler noise."""
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _bench_model():
@@ -72,13 +64,11 @@ def _bench_model():
     return model
 
 
-def _row(path: str, config: dict, seconds: float, calls: int) -> dict:
-    return {
-        "path": path,
-        "config": config,
-        "seconds": seconds,
-        "throughput_samples_s": calls / seconds,
-    }
+def _row(path: str, config: dict, seconds: float, calls: int, reps_s=None) -> dict:
+    return make_row(
+        path, config, seconds, reps_s=reps_s,
+        throughput_samples_s=calls / seconds,
+    )
 
 
 def bench_forward(reps: int, inner: int) -> list[dict]:
@@ -93,13 +83,14 @@ def bench_forward(reps: int, inner: int) -> list[dict]:
         def run():
             for _ in range(inner):
                 fn(x)
-        return _best_of(run, reps)
+        best, times = best_of(run, reps)
+        return best / inner, [t / inner for t in times]
 
     rows = []
 
-    ref_seconds = timed_loop(model) / inner
+    ref_seconds, ref_reps = timed_loop(model)
     rows.append(_row("forward", dict(base_config, backend="reference"),
-                     ref_seconds, 1))
+                     ref_seconds, 1, reps_s=ref_reps))
 
     with tempfile.TemporaryDirectory() as scratch:
         os.environ["REPRO_COMPILE_CACHE_DIR"] = scratch
@@ -117,18 +108,20 @@ def bench_forward(reps: int, inner: int) -> list[dict]:
 
         # warm steady state, exercising several batch sizes in between to
         # prove buffer reallocation does not trigger recompiles
-        warm_seconds = timed_loop(fused) / inner
+        warm_seconds, warm_reps = timed_loop(fused)
         for batch in (1, 4, 16, 1):
             xb = np.random.default_rng(batch).standard_normal((batch, 64)).astype(np.float32)
             assert np.array_equal(fused(xb), model(xb))
-        warm_seconds = min(warm_seconds, timed_loop(fused) / inner)
+        second_seconds, second_reps = timed_loop(fused)
+        warm_seconds = min(warm_seconds, second_seconds)
+        warm_reps = warm_reps + second_reps
         assert fused.stats["lowerings"] == 1, fused.stats
         assert fused.stats["compiles"] == 1, fused.stats
         assert fused.stats["fallbacks"] == 0, fused.stats
         rows.append(_row("forward", dict(base_config, backend="fused_warm",
                                          lowerings=fused.stats["lowerings"],
                                          compiles=fused.stats["compiles"]),
-                         warm_seconds, 1))
+                         warm_seconds, 1, reps_s=warm_reps))
 
         # cross-process restart: fresh memory cache, same disk directory —
         # source comes off disk, only exec + bind run
@@ -151,9 +144,9 @@ def bench_forward(reps: int, inner: int) -> list[dict]:
             out = jitted(x)
             if jitted.last_fallback_reason is None:
                 assert np.array_equal(out, expected), "numba output not bit-exact"
-                numba_seconds = timed_loop(jitted) / inner
+                numba_seconds, numba_reps = timed_loop(jitted)
                 rows.append(_row("forward", dict(base_config, backend="numba"),
-                                 numba_seconds, 1))
+                                 numba_seconds, 1, reps_s=numba_reps))
             else:
                 print(f"numba fell back: {jitted.last_fallback_reason}")
         else:
@@ -187,14 +180,8 @@ def main(argv=None) -> int:
     reps = 3 if args.quick else 5
     inner = 200 if args.quick else 1000
 
-    rows = bench_forward(reps, inner)
-    for row in rows:
-        row["config"]["cpu_count"] = os.cpu_count()
-        row["config"]["quick"] = args.quick
-
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(rows, handle, indent=2)
-    print(f"wrote {len(rows)} rows to {args.out}")
+    rows = finalize_rows(bench_forward(reps, inner), args.quick)
+    write_rows(rows, args.out)
     return 0
 
 

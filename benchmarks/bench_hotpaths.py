@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Micro-benchmarks for the chunked-execution hot paths.
 
-Four paths are timed and written as JSON rows of
-``{path, config, seconds, throughput_mb_s}`` (see docs/PERFORMANCE.md
-for how to read the output):
+Four paths are timed and written in the unified ``benchutils`` row
+shape (``{path, config, seconds, reps_s, throughput_mb_s}`` — record
+with ``repro bench record`` to feed the regression history; see
+docs/PERFORMANCE.md for how to read the output):
 
 * ``huffman_decode``      — vectorized table-walk decoder vs the retained
   scalar ``_decode_reference`` on a peaked 1M-symbol stream;
@@ -25,13 +26,12 @@ is the fault-free supervision+IPC cost instead of a speedup).  Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
-import time
 
 import numpy as np
 
+from benchutils import best_of, finalize_rows, make_row, write_rows
 from repro.compress.huffman import _decode_reference, huffman_decode, huffman_encode
 from repro.compress.sz import SZCompressor
 from repro.core.errorflow import ErrorFlowAnalyzer
@@ -42,16 +42,6 @@ from repro.nn.linear import Linear, SpectralLinear
 from repro.nn.sequential import Sequential
 from repro.perf.cache import clear_all_caches, get_memo
 from repro.quant.formats import STANDARD_FORMATS
-
-
-def _best_of(fn, reps: int) -> float:
-    """Best-of-``reps`` wall time: robust to scheduler noise."""
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def bench_huffman(n_symbols: int, reps: int) -> list[dict]:
@@ -66,19 +56,20 @@ def bench_huffman(n_symbols: int, reps: int) -> list[dict]:
     rows = []
     for impl, fn in (("scalar_reference", _decode_reference), ("vectorized", huffman_decode)):
         get_memo("huffman_tables").clear()
-        seconds = _best_of(lambda fn=fn: fn(blob), reps)
+        seconds, reps_s = best_of(lambda fn=fn: fn(blob), reps)
         rows.append(
-            {
-                "path": "huffman_decode",
-                "config": {
+            make_row(
+                "huffman_decode",
+                {
                     "impl": impl,
                     "n_symbols": n_symbols,
                     "reps": reps,
                     "compressed_bytes": len(blob),
                 },
-                "seconds": seconds,
-                "throughput_mb_s": raw_mb / seconds,
-            }
+                seconds,
+                reps_s=reps_s,
+                throughput_mb_s=raw_mb / seconds,
+            )
         )
     speedup = rows[0]["seconds"] / rows[1]["seconds"]
     for row in rows:
@@ -121,14 +112,15 @@ def bench_bound_eval(reps: int) -> list[dict]:
     rows = []
     clear_all_caches()
     for state, fn in (("cold", cold), ("warm", warm)):
-        seconds = _best_of(fn, reps)
+        seconds, reps_s = best_of(fn, reps)
         rows.append(
-            {
-                "path": "bound_eval",
-                "config": {"cache": state, "evaluations": n_evals, "reps": reps},
-                "seconds": seconds,
-                "throughput_mb_s": None,
-            }
+            make_row(
+                "bound_eval",
+                {"cache": state, "evaluations": n_evals, "reps": reps},
+                seconds,
+                reps_s=reps_s,
+                throughput_mb_s=None,
+            )
         )
     speedup = rows[0]["seconds"] / rows[1]["seconds"]
     for row in rows:
@@ -167,25 +159,26 @@ def bench_pipeline_chunked(side: int, workers: int, reps: int) -> list[dict]:
     ]
     rows = []
     for executor, kwargs in configs:
-        seconds = _best_of(
+        seconds, reps_s = best_of(
             lambda kw=kwargs: pipeline.execute_chunked(
                 fields, chunk_size=chunk_size, chunk_axis=1, **kw
             ),
             reps,
         )
         rows.append(
-            {
-                "path": "pipeline_chunked",
-                "config": {
+            make_row(
+                "pipeline_chunked",
+                {
                     "executor": executor,
                     "workers": kwargs.get("workers", 1),
                     "chunk_size": chunk_size,
                     "field_shape": list(fields.shape),
                     "reps": reps,
                 },
-                "seconds": seconds,
-                "throughput_mb_s": mb / seconds,
-            }
+                seconds,
+                reps_s=reps_s,
+                throughput_mb_s=mb / seconds,
+            )
         )
     serial = rows[0]["seconds"]
     for row in rows:
@@ -214,24 +207,25 @@ def bench_pipeline_checkpoint(side: int, workers: int, reps: int) -> list[dict]:
             ("on", dict(checkpoint=os.path.join(scratch, "ck"))),
         ]
         for journal, kwargs in configs:
-            seconds = _best_of(
+            seconds, reps_s = best_of(
                 lambda kw=kwargs: pipeline.execute_chunked(
                     fields, chunk_size=chunk_size, chunk_axis=1, workers=1, **kw
                 ),
                 reps,
             )
             rows.append(
-                {
-                    "path": "pipeline_checkpoint",
-                    "config": {
+                make_row(
+                    "pipeline_checkpoint",
+                    {
                         "journal": journal,
                         "chunk_size": chunk_size,
                         "field_shape": list(fields.shape),
                         "reps": reps,
                     },
-                    "seconds": seconds,
-                    "throughput_mb_s": mb / seconds,
-                }
+                    seconds,
+                    reps_s=reps_s,
+                    throughput_mb_s=mb / seconds,
+                )
             )
     overhead = rows[1]["seconds"] / rows[0]["seconds"] - 1.0
     for row in rows:
@@ -257,7 +251,7 @@ def bench_pipeline_distributed(side: int, reps: int) -> list[dict]:
     pipeline, fields, chunk_size = _chunked_pipeline_setup(side, 2)
     mb = fields.nbytes / 1e6
 
-    serial_seconds = _best_of(
+    serial_seconds, serial_reps = best_of(
         lambda: pipeline.execute_chunked(
             fields, chunk_size=chunk_size, chunk_axis=1, workers=1
         ),
@@ -303,11 +297,11 @@ def bench_pipeline_distributed(side: int, reps: int) -> list[dict]:
         for thread in threads:
             thread.join(timeout=15.0)
 
-    distributed_seconds = _best_of(one_run, reps)
+    distributed_seconds, distributed_reps = best_of(one_run, reps)
     rows = [
-        {
-            "path": "pipeline_distributed",
-            "config": {
+        make_row(
+            "pipeline_distributed",
+            {
                 "executor": executor,
                 "workers": workers,
                 "chunk_size": chunk_size,
@@ -316,12 +310,13 @@ def bench_pipeline_distributed(side: int, reps: int) -> list[dict]:
                 "speedup_vs_serial": serial_seconds / seconds,
                 "overhead_vs_serial": seconds / serial_seconds - 1.0,
             },
-            "seconds": seconds,
-            "throughput_mb_s": mb / seconds,
-        }
-        for executor, workers, seconds in (
-            ("serial", 1, serial_seconds),
-            ("distributed", 2, distributed_seconds),
+            seconds,
+            reps_s=reps_s,
+            throughput_mb_s=mb / seconds,
+        )
+        for executor, workers, seconds, reps_s in (
+            ("serial", 1, serial_seconds, serial_reps),
+            ("distributed", 2, distributed_seconds, distributed_reps),
         )
     ]
     overhead = distributed_seconds / serial_seconds - 1.0
@@ -351,13 +346,8 @@ def main(argv=None) -> int:
     rows += bench_pipeline_chunked(side, args.workers, reps)
     rows += bench_pipeline_checkpoint(side, args.workers, reps)
     rows += bench_pipeline_distributed(side, reps)
-    for row in rows:
-        row["config"]["cpu_count"] = os.cpu_count()
-        row["config"]["quick"] = args.quick
-
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(rows, handle, indent=2)
-    print(f"wrote {len(rows)} rows to {args.out}")
+    finalize_rows(rows, args.quick)
+    write_rows(rows, args.out)
     return 0
 
 

@@ -19,7 +19,15 @@ Commands mirror the paper's workflow:
 * ``audit``       — predicted-vs-observed error audits: ``record`` runs
                     an audited pipeline execution into a registry,
                     ``report`` summarizes a registry and checks drift,
-                    ``diff`` compares the bound tightness of two runs.
+                    ``diff`` compares the bound tightness of two runs;
+* ``profile``     — run any other command under the sampling profiler
+                    and write a flamegraph-ready export (also available
+                    as the global ``--profile FILE`` flag);
+* ``bench``       — persistent benchmark history: ``record`` appends a
+                    ``benchmarks/*.py`` rows file to a JSONL registry,
+                    ``report`` lists it, ``diff`` gates two runs against
+                    the robust regression detector (nonzero exit on a
+                    flagged slowdown — the CI perf gate).
 
 Observability is wired through global flags: ``--trace FILE`` writes a
 JSONL span trace of the run, ``--metrics FILE`` a metrics snapshot
@@ -55,17 +63,30 @@ from .obs import (
     audit_capture,
     disable as obs_disable,
     disable_audit,
+    disable_profile,
     enable as obs_enable,
     enable_audit,
+    enable_profile,
     get_auditor,
     get_logger,
     get_metrics,
+    get_profiler,
     get_tracer,
+    profile_capture,
     render_metrics_json,
     set_log_level,
+    write_profile,
 )
+from .obs.prof import DEFAULT_HZ
 from .obs.audit import DEFAULT_LOOSE_BELOW
 from .obs.registry import DEFAULT_DRIFT_THRESHOLD
+from .perf.history import (
+    DEFAULT_BENCH_THRESHOLD,
+    DEFAULT_MAD_K,
+    DEFAULT_MIN_REPS,
+    BenchRegistry,
+    describe_bench_diff,
+)
 from .quant import STANDARD_FORMATS
 from .workloads import WORKLOAD_NAMES, load_workload
 
@@ -111,6 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", metavar="FILE", default=None,
         help="audit every pipeline execution (predicted-vs-observed "
         "layerwise bounds) into this JSONL run registry",
+    )
+    parser.add_argument(
+        "--profile", metavar="FILE", default=None,
+        help="sample the run with the wall-clock profiler and write the "
+        "result (.json = speedscope, .folded/.txt = folded stacks)",
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=DEFAULT_HZ, metavar="HZ",
+        help=f"target sampling rate for --profile (default: {DEFAULT_HZ:g}; "
+        "the overhead governor throttles below this when sampling costs "
+        "more than 5%% of wall time)",
+    )
+    parser.add_argument(
+        "--instrument-ops", action="store_true",
+        help="compile the fused backend's per-op timing variant: forward "
+        "passes report per-op wall time into the backend_op_seconds "
+        "histogram (fused backend only)",
     )
     parser.add_argument(
         "--log-level", choices=("debug", "info", "warning", "error"), default="info",
@@ -407,6 +445,87 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--threshold", type=float, default=DEFAULT_DRIFT_THRESHOLD,
                       help="relative tightness increase flagged as regression "
                       f"(default: {DEFAULT_DRIFT_THRESHOLD})")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler "
+        "and write a flamegraph-ready export",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", default="profile.speedscope.json",
+        help="export path (.json = speedscope, .folded/.txt = folded "
+        "stacks; default: profile.speedscope.json)",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=DEFAULT_HZ,
+        help=f"target sampling rate (default: {DEFAULT_HZ:g})",
+    )
+    profile.add_argument(
+        "profiled_argv", nargs=argparse.REMAINDER, metavar="command",
+        help="the repro command to profile, e.g. "
+        "'repro profile -- pipeline heat3d --tolerance 1e-3'",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="persistent benchmark history: record bench rows into a "
+        "JSONL registry, report it, diff two runs with regression gates",
+    )
+    bench_cmds = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_record = bench_cmds.add_parser(
+        "record", help="append a benchmarks/*.py rows file to the history"
+    )
+    bench_record.add_argument(
+        "rows_file",
+        help="bench JSON written by benchmarks/*.py (a row list, or an "
+        "object with a 'rows' list)",
+    )
+    bench_record.add_argument("--registry", required=True, metavar="FILE",
+                              help="JSONL bench history to append to")
+    bench_record.add_argument("--label", default="",
+                              help="free-form label stored with the run")
+    bench_record.add_argument("--bench", default=None,
+                              help="bench name (default: rows file stem)")
+    bench_record.add_argument("--git-rev", default=None,
+                              help="source revision recorded with the run "
+                              "(default: git rev-parse, empty outside a repo)")
+
+    bench_report = bench_cmds.add_parser(
+        "report", help="list the recorded benchmark runs"
+    )
+    bench_report.add_argument("registry", help="JSONL history written by 'bench record'")
+    bench_report.add_argument("--last", type=int, default=10,
+                              help="number of most recent runs to list")
+
+    bench_diff = bench_cmds.add_parser(
+        "diff",
+        help="regression gate between two recorded runs "
+        "(exits nonzero when a row regressed)",
+    )
+    bench_diff.add_argument("run_a", nargs="?", default=None,
+                            help="baseline run id (e.g. bench-0001) or index "
+                            "(default: second-latest run)")
+    bench_diff.add_argument("run_b", nargs="?", default=None,
+                            help="candidate run id or index (default: latest run)")
+    bench_diff.add_argument("--registry", required=True, metavar="FILE",
+                            help="JSONL history holding both runs")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=DEFAULT_BENCH_THRESHOLD,
+        help="relative slowdown flagged as regression "
+        f"(default: {DEFAULT_BENCH_THRESHOLD}; doubled when either side "
+        "has sparse reps)",
+    )
+    bench_diff.add_argument(
+        "--min-reps", type=int, default=DEFAULT_MIN_REPS,
+        help="reps below this widen the gate to 2x the threshold "
+        f"(default: {DEFAULT_MIN_REPS})",
+    )
+    bench_diff.add_argument(
+        "--mad-k", type=float, default=DEFAULT_MAD_K,
+        help="absolute change must clear this many scaled MADs of the "
+        f"noisier run (default: {DEFAULT_MAD_K})",
+    )
     return parser
 
 
@@ -439,6 +558,14 @@ def _cmd_plan(args) -> int:
     _LOG.info(plan.describe())
     _LOG.info(f"compression budget: {plan.compression_budget:.4e}")
     return 0
+
+
+def _instrument_flag(args) -> "bool | None":
+    """``--instrument-ops`` as the pipeline's ``instrument_ops`` value.
+
+    ``None`` when the flag is absent so the ``REPRO_INSTRUMENT_OPS``
+    environment default still applies."""
+    return True if getattr(args, "instrument_ops", False) else None
 
 
 def _samples_reshape(workload):
@@ -482,7 +609,8 @@ def _cmd_pipeline(args) -> int:
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
     pipeline = InferencePipeline(
-        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+        workload.qoi_model(), get_compressor(args.codec), plan,
+        backend=args.backend, instrument_ops=_instrument_flag(args),
     )
     reshape = _samples_reshape(workload)
     fields = workload.dataset.fields
@@ -577,7 +705,8 @@ def _distrib_pipeline(args):
     planner = TolerancePlanner(workload.qoi_analyzer())
     plan = planner.plan(args.tolerance, norm=args.norm, quant_fraction=args.fraction)
     pipeline = InferencePipeline(
-        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+        workload.qoi_model(), get_compressor(args.codec), plan,
+        backend=args.backend, instrument_ops=_instrument_flag(args),
     )
     chunk_axis = 0 if workload.name == "eurosat" else 1
     return pipeline, workload.dataset.fields, _samples_reshape(workload), chunk_axis
@@ -854,7 +983,8 @@ def _cmd_audit_record(args) -> int:
             args.tolerance, norm=args.norm, quant_fraction=args.fraction
         )
     pipeline = InferencePipeline(
-        workload.qoi_model(), get_compressor(args.codec), plan, backend=args.backend
+        workload.qoi_model(), get_compressor(args.codec), plan,
+        backend=args.backend, instrument_ops=_instrument_flag(args),
     )
     with audit_capture(
         registry=args.registry,
@@ -930,6 +1060,138 @@ def _cmd_audit(args) -> int:
     return handlers[args.audit_command](args)
 
 
+def _cmd_profile(args) -> int:
+    command = list(args.profiled_argv)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        raise ConfigurationError(
+            "profile requires a command to run, e.g. "
+            "repro profile -- pipeline heat3d --tolerance 1e-3"
+        )
+    if command[0] == "profile":
+        raise ConfigurationError("profile cannot profile itself")
+    with profile_capture(hz=args.hz) as profiler:
+        code = main(command)
+    fmt = write_profile(profiler, args.out)
+    _LOG.info(
+        f"profile written -> {args.out} ({fmt}, "
+        f"{profiler.stacks.total()} samples @ {profiler.hz:g} hz, "
+        f"overhead {100 * profiler.overhead_fraction():.2f}%)"
+    )
+    return code
+
+
+def _git_rev() -> str:
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def _cmd_bench_record(args) -> int:
+    import os
+
+    try:
+        with open(args.rows_file) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        _LOG.error(f"error (OSError): cannot read rows file: {exc}")
+        return 1
+    except json.JSONDecodeError as exc:
+        _LOG.error(f"error (JSONDecodeError): {args.rows_file} is not bench JSON: {exc}")
+        return 1
+    rows = payload if isinstance(payload, list) else payload.get("rows")
+    if not isinstance(rows, list):
+        _LOG.error(
+            f"error: {args.rows_file} holds neither a row list nor a "
+            "'rows' object"
+        )
+        return 1
+    bench = args.bench or os.path.splitext(os.path.basename(args.rows_file))[0]
+    git_rev = args.git_rev if args.git_rev is not None else _git_rev()
+    registry = BenchRegistry(args.registry)
+    try:
+        run = registry.record(rows, bench=bench, label=args.label, git_rev=git_rev)
+    except ValueError as exc:
+        _LOG.error(f"error (ValueError): {exc}")
+        return 1
+    _LOG.info(
+        f"recorded {run['run_id']} ({len(run['rows'])} row(s), "
+        f"bench {run['bench']}"
+        + (f", rev {run['git_rev']}" if run["git_rev"] else "")
+        + f") -> {args.registry}"
+    )
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    registry = BenchRegistry(args.registry)
+    runs = registry.runs()
+    if not runs:
+        _LOG.info(f"{args.registry}: empty bench history")
+        return 0
+    _LOG.info(
+        f"{'run':12s} {'bench':24s} {'label':16s} {'rev':>8s} {'rows':>5s}"
+    )
+    for run in runs[-args.last:]:
+        _LOG.info(
+            f"{run.get('run_id', '?'):12s} {run.get('bench', '?')[:24]:24s} "
+            f"{run.get('label', '')[:16]:16s} {run.get('git_rev', '')[:8]:>8s} "
+            f"{len(run.get('rows', [])):>5d}"
+        )
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    registry = BenchRegistry(args.registry)
+    run_a, run_b = args.run_a, args.run_b
+    if run_a is None or run_b is None:
+        runs = registry.runs()
+        if len(runs) < 2:
+            _LOG.error(
+                f"error: bench diff needs two runs, {args.registry} holds "
+                f"{len(runs)}"
+            )
+            return 1
+        run_a = run_a if run_a is not None else runs[-2]["run_id"]
+        run_b = run_b if run_b is not None else runs[-1]["run_id"]
+    try:
+        report = registry.diff(
+            run_a, run_b,
+            threshold=args.threshold,
+            min_reps=args.min_reps,
+            mad_k=args.mad_k,
+        )
+    except (KeyError, ValueError) as exc:
+        _LOG.error(f"error ({type(exc).__name__}): {exc.args[0]}")
+        return 1
+    _LOG.info(f"bench diff {report['run_a']} -> {report['run_b']}")
+    _LOG.info(describe_bench_diff(report))
+    if not report["compared"]:
+        _LOG.info(
+            "no comparable rows (different benches or host shapes); "
+            "nothing to gate"
+        )
+        return 0
+    return 1 if report["regressions"] else 0
+
+
+def _cmd_bench(args) -> int:
+    handlers = {
+        "record": _cmd_bench_record,
+        "report": _cmd_bench_report,
+        "diff": _cmd_bench_diff,
+    }
+    return handlers[args.bench_command](args)
+
+
 _HANDLERS = {
     "analyze": _cmd_analyze,
     "plan": _cmd_plan,
@@ -943,6 +1205,8 @@ _HANDLERS = {
     "serve-metrics": _cmd_serve_metrics,
     "trace": _cmd_trace,
     "audit": _cmd_audit,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 
@@ -993,6 +1257,9 @@ def main(argv: list[str] | None = None) -> int:
         obs_enable()
     if args.audit:
         enable_audit(registry=args.audit)
+    profiling = bool(args.profile) and args.command != "profile"
+    if profiling:
+        enable_profile(hz=args.profile_hz)
     try:
         try:
             # validate eagerly so a typo fails before any work starts,
@@ -1007,19 +1274,28 @@ def main(argv: list[str] | None = None) -> int:
         # command) must still restore the no-op singletons and must not
         # lose the other telemetry files.
         try:
-            if observing:
-                _flush_observability(args)
-        finally:
-            auditor = get_auditor()
-            if args.audit and auditor.enabled:
+            if profiling:
+                stopped = disable_profile()
+                fmt = write_profile(stopped, args.profile)
                 _LOG.debug(
-                    "audit registry written",
-                    file=args.audit,
-                    runs=len(auditor.records),
-                    violations=auditor.violation_count,
+                    "profile written", file=args.profile, format=fmt,
+                    samples=stopped.stacks.total(),
                 )
-            disable_audit()
-            obs_disable()
+        finally:
+            try:
+                if observing:
+                    _flush_observability(args)
+            finally:
+                auditor = get_auditor()
+                if args.audit and auditor.enabled:
+                    _LOG.debug(
+                        "audit registry written",
+                        file=args.audit,
+                        runs=len(auditor.records),
+                        violations=auditor.violation_count,
+                    )
+                disable_audit()
+                obs_disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

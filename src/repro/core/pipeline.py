@@ -37,8 +37,9 @@ from ..io.checkpoint import CheckpointJournal, digest_array, digest_model
 from ..io.serialization import blob_from_bytes, blob_to_bytes
 from ..nn.backend import CompiledForward, resolve_backend_name
 from ..nn.module import Module
-from ..obs import get_auditor, get_logger, get_metrics, get_tracer
+from ..obs import get_auditor, get_logger, get_metrics, get_profiler, get_tracer
 from ..obs.audit import AuditRecord
+from ..obs.prof import memory_snapshot, memory_top_diff
 from ..perf.parallel import resolve_workers
 from ..quant.quantizer import QuantizedModel, quantize_model
 from ..resilience.guards import check_contract, screen_finite
@@ -152,6 +153,14 @@ class InferencePipeline:
         back to it transparently (audit hooks, unsupported modules,
         off-envelope inputs), recording the reason in
         ``result.extra["backend"]``.
+    instrument_ops:
+        Compile the fused backend's per-op timing variant (see
+        :class:`~repro.nn.backend.fused.InstrumentedFusedBackend`):
+        forward passes additionally report per-op wall time into the
+        ``backend_op_seconds`` histogram and
+        ``result.extra["backend"]["op_seconds"]``.  ``None`` (default)
+        consults ``REPRO_INSTRUMENT_OPS``; only meaningful on the fused
+        backend.
     """
 
     def __init__(
@@ -163,6 +172,7 @@ class InferencePipeline:
         max_retries: int = 1,
         screen: bool = True,
         backend: "str | None" = None,
+        instrument_ops: "bool | None" = None,
     ) -> None:
         self.model = model
         self.codec = codec
@@ -171,9 +181,14 @@ class InferencePipeline:
         self.max_retries = int(max_retries)
         self.screen = screen
         self.backend = resolve_backend_name(backend)
+        self.instrument_ops = instrument_ops
         self.quantized: QuantizedModel = quantize_model(model, plan.fmt)
-        self._forward_quant = CompiledForward(self.quantized.model, self.backend)
-        self._forward_ref = CompiledForward(self.model, self.backend)
+        self._forward_quant = CompiledForward(
+            self.quantized.model, self.backend, instrument=instrument_ops
+        )
+        self._forward_ref = CompiledForward(
+            self.model, self.backend, instrument=instrument_ops
+        )
         self._mode = self._select_mode()
         self._audit_recorder = None
         self._audit_lock = threading.Lock()
@@ -331,6 +346,9 @@ class InferencePipeline:
 
         tracer = get_tracer()
         metrics = get_metrics()
+        profiler = get_profiler()
+        prof_window = profiler.begin_window() if profiler.enabled else None
+        memory_stages: "dict | None" = {} if profiler.enabled and profiler.memory else None
         with tracer.span(
             "pipeline.execute",
             codec=self.codec.name,
@@ -341,9 +359,16 @@ class InferencePipeline:
             if self.screen:
                 screen_finite(fields, stage="source", name="fields")
 
+            mem_before = memory_snapshot() if memory_stages is not None else None
             blob, reconstructed, compress_seconds, decompress_seconds, recoveries, spans = (
                 self._store_and_load(fields, force_lossless=force_lossless)
             )
+            if memory_stages is not None:
+                mem_after = memory_snapshot()
+                memory_stages["store_load"] = memory_top_diff(
+                    mem_before, mem_after, top=profiler.memory_top
+                )
+                mem_before = mem_after
 
             samples = samples_from_fields(reconstructed)
             with tracer.span(
@@ -356,6 +381,11 @@ class InferencePipeline:
                 start = time.perf_counter()
                 outputs = self._forward_quant(samples)
                 inference_seconds = time.perf_counter() - start
+            if memory_stages is not None:
+                mem_after = memory_snapshot()
+                memory_stages["inference"] = memory_top_diff(
+                    mem_before, mem_after, top=profiler.memory_top
+                )
 
             self.model.eval()
             reference_samples = samples_from_fields(fields)
@@ -414,6 +444,9 @@ class InferencePipeline:
                 backend_info["fallback_quant"] = self._forward_quant.last_fallback_reason
             if self._forward_ref.last_fallback_reason is not None:
                 backend_info["fallback_reference"] = self._forward_ref.last_fallback_reason
+            if self._forward_quant.last_op_seconds is not None:
+                backend_info["op_labels"] = list(self._forward_quant.op_labels or [])
+                backend_info["op_seconds"] = list(self._forward_quant.last_op_seconds)
 
             result = PipelineResult(
                 outputs=outputs,
@@ -427,6 +460,10 @@ class InferencePipeline:
                 input_error_l2_max=input_error_l2_max,
                 extra={"integrity": integrity, "backend": backend_info},
             )
+            if prof_window is not None:
+                result.extra["profile"] = profiler.end_window(
+                    prof_window, memory_stages
+                )
 
             if tracer.enabled or metrics.enabled:
                 self._record_telemetry(
@@ -652,6 +689,8 @@ class InferencePipeline:
             completed_entries = journal.begin(manifest, resume=resume)
 
         tracer = get_tracer()
+        profiler = get_profiler()
+        prof_window = profiler.begin_window() if profiler.enabled else None
         wall_start = time.perf_counter()
         with tracer.span(
             "pipeline.execute_chunked",
@@ -780,6 +819,10 @@ class InferencePipeline:
                 "replayed_chunks": len(completed_entries),
                 "computed_chunks": len(chunks) - len(completed_entries),
             }
+        if prof_window is not None:
+            # whole-run window: per-chunk serial execute() calls attach
+            # their own nested windows inside each chunk result
+            extra["profile"] = profiler.end_window(prof_window)
 
         return PipelineResult(
             outputs=np.concatenate([r.outputs for r in ordered], axis=0),

@@ -41,7 +41,7 @@ from typing import Callable, Optional
 
 from ..exceptions import ConfigurationError, IntegrityError, ProtocolError, ReproError
 from ..io.checkpoint import digest_bytes
-from ..obs import get_logger, get_metrics, get_tracer
+from ..obs import get_logger, get_metrics, get_profiler, get_tracer
 from ..obs.metrics import decode_counter_delta
 from .protocol import (
     PROTOCOL_VERSION,
@@ -550,15 +550,18 @@ class ShardCoordinator:
         metrics = get_metrics()
         tracer = get_tracer()
         delta = message.get("delta")
-        if (
-            delta
-            and metrics.enabled
-            and message.get("registry") != registry_token()
-        ):
+        remote = message.get("registry") != registry_token()
+        if delta and metrics.enabled and remote:
             metrics.merge_counter_deltas(decode_counter_delta(delta))
         spans = message.get("spans")
         if spans and tracer.enabled:
             tracer.merge_remote(spans)
+        profile = message.get("profile")
+        profiler = get_profiler()
+        if profile and profiler.enabled and remote:
+            # same double-count guard as counters: thread-harness workers
+            # share this process's profiler, their samples are already here
+            profiler.stacks.merge_rows(profile)
 
     def _handshake(self, conn: FrameSocket) -> "str | None":
         """Validate a HELLO; returns the worker name, or None if refused."""

@@ -338,6 +338,7 @@ def msg_metrics(
     delta: "dict | None" = None,
     spans: "list | None" = None,
     registry: "str | None" = None,
+    profile: "list | None" = None,
 ) -> dict:
     """One-way worker telemetry push: counter deltas plus finished spans.
 
@@ -345,7 +346,9 @@ def msg_metrics(
     (``"pid:objectid"``); the coordinator skips merging deltas that came
     from its *own* registry — the in-process test harness runs workers as
     threads sharing the registry, and folding a shared registry's delta
-    back into itself would double-count.
+    back into itself would double-count.  ``profile`` ships fresh
+    folded-stack sample rows (``[[folded, count], ...]``) when the worker
+    is running a sampling profiler; same double-count guard applies.
     """
     message: dict = {"type": "metrics", "worker": worker}
     if delta:
@@ -354,6 +357,8 @@ def msg_metrics(
         message["spans"] = spans
     if registry:
         message["registry"] = registry
+    if profile:
+        message["profile"] = profile
     return message
 
 

@@ -42,7 +42,8 @@ import numpy as np
 from ..core.pipeline import split_chunks
 from ..exceptions import IntegrityError, ProtocolError
 from ..io.checkpoint import CheckpointJournal, digest_array, digest_bytes, digest_model
-from ..obs import get_logger, get_metrics, get_tracer, json_default
+from ..obs import get_logger, get_metrics, get_profiler, get_tracer, json_default
+from ..obs.prof import diff_rows
 from ..obs.trace import Tracer
 from ..resilience.inject import ChaosInjector, ChaosPartition
 from ..resilience.retry import RetryPolicy, retry_call
@@ -124,6 +125,8 @@ class _TelemetryPusher:
         self._worker = worker
         self._shipper = shipper
         self._baseline = get_metrics().counter_snapshot()
+        profiler = get_profiler()
+        self._prof_baseline = profiler.stacks.snapshot() if profiler.enabled else {}
         self._stop = threading.Event()
         # push() is callable from the main loop (final flush) while the
         # pusher thread is live; serialize so the delta baseline advances
@@ -141,15 +144,23 @@ class _TelemetryPusher:
             current = metrics.counter_snapshot()
             delta = metrics.counter_delta(current, self._baseline)
             spans = self._shipper.take()
-            if not delta and not spans:
+            profiler = get_profiler()
+            prof_current = profiler.stacks.snapshot() if profiler.enabled else {}
+            profile_rows = diff_rows(prof_current, self._prof_baseline)
+            if not delta and not spans and not profile_rows:
                 return
             try:
                 self._conn.send(
                     msg_metrics(
-                        self._worker, delta=delta, spans=spans, registry=registry_token()
+                        self._worker,
+                        delta=delta,
+                        spans=spans,
+                        registry=registry_token(),
+                        profile=profile_rows,
                     )
                 )
                 self._baseline = current
+                self._prof_baseline = prof_current
             except OSError:
                 self._shipper.requeue(spans)
                 raise

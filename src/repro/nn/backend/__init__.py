@@ -14,7 +14,14 @@ from .base import (
     get_backend,
     resolve_backend_name,
 )
-from .fused import FusedBackend, FusedKernel, generate_fused_source
+from .fused import (
+    FusedBackend,
+    FusedKernel,
+    InstrumentedFusedBackend,
+    InstrumentedFusedKernel,
+    generate_fused_source,
+    instrumented_op_labels,
+)
 from .lowering import LoweredOp, LoweredProgram, constant_bindings, lower
 from .numba_backend import NumbaBackend, generate_numba_source, numba_available
 
@@ -23,6 +30,8 @@ __all__ = [
     "CompiledForward",
     "FusedBackend",
     "FusedKernel",
+    "InstrumentedFusedBackend",
+    "InstrumentedFusedKernel",
     "LoweredOp",
     "LoweredProgram",
     "NumbaBackend",
@@ -30,6 +39,7 @@ __all__ = [
     "generate_fused_source",
     "generate_numba_source",
     "get_backend",
+    "instrumented_op_labels",
     "lower",
     "numba_available",
     "resolve_backend_name",

@@ -41,7 +41,7 @@ from ...exceptions import ConfigurationError, LoweringError
 from ...obs import get_metrics, get_tracer
 from ...perf.compile_cache import get_compile_cache, kernel_key, structure_key
 from ..module import Module
-from .fused import FusedBackend
+from .fused import FusedBackend, InstrumentedFusedBackend
 from .lowering import constant_bindings, lower
 from .numba_backend import NumbaBackend, numba_available
 
@@ -58,6 +58,17 @@ _BACKENDS = {
     "fused": FusedBackend(),
     "numba": NumbaBackend(),
 }
+
+#: the per-op-timing codegen variant; addressed explicitly via
+#: ``CompiledForward(..., instrument=True)``, never by backend name
+_INSTRUMENTED_FUSED = InstrumentedFusedBackend()
+
+_ENV_INSTRUMENT = "REPRO_INSTRUMENT_OPS"
+
+
+def _instrument_default() -> bool:
+    value = os.environ.get(_ENV_INSTRUMENT, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 #: binding names that are runtime support, not model constants
 _NON_CONSTANT_BINDINGS = frozenset({"np", "_GELU_C"})
@@ -107,9 +118,19 @@ class CompiledForward:
     kernel could change observable behavior.
     """
 
-    def __init__(self, model: Module, backend: "str | None" = None) -> None:
+    def __init__(
+        self,
+        model: Module,
+        backend: "str | None" = None,
+        instrument: "bool | None" = None,
+    ) -> None:
         self.model = model
         self.backend_name = resolve_backend_name(backend)
+        if instrument is None:
+            instrument = _instrument_default()
+        # per-op timing exists only for the fused codegen; on reference
+        # there is no kernel and numba jits one opaque function
+        self.instrument = bool(instrument) and self.backend_name == "fused"
         self._modules = list(model.modules())
         self._params = list(model.parameters())
         self._kernel = None
@@ -117,6 +138,7 @@ class CompiledForward:
         self._unsupported_version: "int | None" = None
         self._unsupported_detail: "str | None" = None
         self.last_fallback_reason: "str | None" = None
+        self._reason_gauge: "str | None" = None
         self.stats = {
             "calls": 0,
             "lowerings": 0,
@@ -150,11 +172,23 @@ class CompiledForward:
         if reason is not None:
             return self._fallback(x, reason)
         try:
-            return self._kernel(x)
+            out = self._kernel(x)
         except LoweringError as exc:  # lazy jit failure (numba)
             self._kernel = None
             self._mark_unsupported(version, str(exc))
             return self._fallback(x, "unsupported-module", str(exc))
+        get_metrics().gauge("backend_compiled_active", backend=self.backend_name).set(1.0)
+        return out
+
+    @property
+    def last_op_seconds(self) -> "list | None":
+        """Per-op seconds of the latest instrumented call (else ``None``)."""
+        return getattr(self._kernel, "last_op_seconds", None)
+
+    @property
+    def op_labels(self) -> "list | None":
+        """Labels matching :attr:`last_op_seconds` slots (else ``None``)."""
+        return getattr(self._kernel, "op_labels", None)
 
     # -- internals -----------------------------------------------------
 
@@ -165,9 +199,25 @@ class CompiledForward:
     def _fallback(self, x: np.ndarray, reason: str, detail: "str | None" = None) -> np.ndarray:
         self.last_fallback_reason = detail or reason
         self.stats["fallbacks"] += 1
-        get_metrics().counter(
+        metrics = get_metrics()
+        metrics.counter(
             "backend_fallbacks_total", backend=self.backend_name, reason=reason
         ).inc()
+        if metrics.enabled:
+            # a serving box silently on the interpreter is an ops-plane
+            # fact: 0/1 activity gauge plus an info-style gauge whose
+            # ``reason`` label names the *latest* fallback cause
+            metrics.gauge("backend_compiled_active", backend=self.backend_name).set(0.0)
+            if self._reason_gauge is not None and self._reason_gauge != reason:
+                metrics.gauge(
+                    "backend_last_fallback_info",
+                    backend=self.backend_name,
+                    reason=self._reason_gauge,
+                ).set(0.0)
+            self._reason_gauge = reason
+            metrics.gauge(
+                "backend_last_fallback_info", backend=self.backend_name, reason=reason
+            ).set(1.0)
         return self.model(x)
 
     def _input_guard(self, x: np.ndarray) -> "str | None":
@@ -186,7 +236,14 @@ class CompiledForward:
 
     def _compile(self, version: int):
         cache = get_compile_cache()
-        backend = get_backend(self.backend_name)
+        if self.instrument:
+            # the instrumented variant caches under its own backend
+            # identity, so timed and fast kernels of one structure
+            # coexist at both cache levels
+            backend = _INSTRUMENTED_FUSED
+        else:
+            backend = get_backend(self.backend_name)
+        cache_name = backend.name
         program = lower(self.model)
         self.stats["lowerings"] += 1
         constants = sorted(
@@ -194,23 +251,23 @@ class CompiledForward:
             for name, value in constant_bindings(program).items()
             if name not in _NON_CONSTANT_BINDINGS
         )
-        kkey = kernel_key(program.signature, self.backend_name, constants, version)
+        kkey = kernel_key(program.signature, cache_name, constants, version)
         kernel = cache.get_kernel(kkey)
         if kernel is not None:
             return kernel
-        skey = structure_key(program.signature, self.backend_name)
+        skey = structure_key(program.signature, cache_name)
         started = time.perf_counter()
         with get_tracer().span(
-            "backend.compile", backend=self.backend_name, weight_version=version
+            "backend.compile", backend=cache_name, weight_version=version
         ):
-            source = cache.get_source(skey, program.signature, self.backend_name)
+            source = cache.get_source(skey, program.signature, cache_name)
             if source is None:
                 source = backend.generate(program)
-                cache.put_source(skey, program.signature, self.backend_name, source)
+                cache.put_source(skey, program.signature, cache_name, source)
             kernel = backend.bind(program, source)
         self.stats["compiles"] += 1
         get_metrics().histogram(
-            "backend_compile_seconds", backend=self.backend_name
+            "backend_compile_seconds", backend=cache_name
         ).observe(time.perf_counter() - started)
         cache.put_kernel(kkey, kernel)
         return kernel

@@ -33,13 +33,22 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict
 
 import numpy as np
 
+from ...obs import get_metrics
 from .lowering import GELU_C, LoweredOp, LoweredProgram, constant_bindings
 
-__all__ = ["FusedBackend", "FusedKernel", "generate_fused_source"]
+__all__ = [
+    "FusedBackend",
+    "FusedKernel",
+    "InstrumentedFusedBackend",
+    "InstrumentedFusedKernel",
+    "generate_fused_source",
+    "instrumented_op_labels",
+]
 
 #: buffer sets retained per thread (distinct (batch, dtype) pairs)
 _BUFFER_SETS = 8
@@ -57,18 +66,39 @@ class _Codegen:
     buffer.
     """
 
-    def __init__(self, program: LoweredProgram) -> None:
+    def __init__(self, program: LoweredProgram, instrument: bool = False) -> None:
         self.program = program
-        self.lines = ["def _fused_forward(x, B):"]
+        self.instrument = bool(instrument)
+        signature = "def _fused_forward(x, B, T):" if instrument else "def _fused_forward(x, B):"
+        self.lines = [signature]
         self._counter = itertools.count()
         self.kind = {"x": "input"}
         self.protected: set = set()
+        self.op_labels: list = []
 
     def fresh(self) -> str:
         return f"v{next(self._counter)}"
 
     def line(self, text: str) -> None:
         self.lines.append("    " + text)
+
+    def _time_start(self, label: str) -> "int | None":
+        """Open a per-op timing bracket (instrumented codegen only).
+
+        The timing lines wrap exactly the op's own emitted expressions —
+        the numpy expressions themselves are untouched, so the
+        instrumented kernel stays bit-exact with the fast one.
+        """
+        if not self.instrument:
+            return None
+        index = len(self.op_labels)
+        self.op_labels.append(label)
+        self.line(f"_s{index} = _pcns()")
+        return index
+
+    def _time_end(self, index: "int | None") -> None:
+        if index is not None:
+            self.line(f"T[{index}] += _pcns() - _s{index}")
 
     def run(self) -> str:
         out = self.emit_ops(self.program.ops, "x", tail=True)
@@ -106,8 +136,10 @@ class _Codegen:
         return self._emit_elementwise(op, var, tail)
 
     def _emit_elementwise(self, op: LoweredOp, var: str, tail: bool) -> str:
+        timer = self._time_start(op.kind)
         if op.kind == "tanh" and self._can_inplace(var, tail):
             self.line(f"np.tanh({var}, out={var})")
+            self._time_end(timer)
             return var
         r = self.fresh()
         if op.kind == "relu":
@@ -128,9 +160,11 @@ class _Codegen:
         else:  # pragma: no cover - lowering emits only the kinds above
             raise AssertionError(f"unknown op kind {op.kind!r}")
         self.kind[r] = "fresh"
+        self._time_end(timer)
         return r
 
     def _emit_linear(self, op: LoweredOp, var: str, tail: bool) -> str:
+        timer = self._time_start("linear")
         weight = f"W{op.index}_t"
         if op.bias is None:
             r = self.fresh()
@@ -140,16 +174,19 @@ class _Codegen:
             else:
                 self.line(f"{r} = np.matmul({var}, {weight}, out=B[{op.slot}])")
                 self.kind[r] = "buffer"
+            self._time_end(timer)
             return r
         m = self.fresh()
         self.line(f"{m} = np.matmul({var}, {weight}, out=B[{op.slot}])")
         self.kind[m] = "buffer"
         if not tail and op.inplace_bias_ok and m not in self.protected:
             self.line(f"np.add({m}, b{op.index}, out={m})")
+            self._time_end(timer)
             return m
         r = self.fresh()
         self.line(f"{r} = {m} + b{op.index}")
         self.kind[r] = "fresh"
+        self._time_end(timer)
         return r
 
     def _emit_residual(self, op: LoweredOp, var: str, tail: bool) -> str:
@@ -164,8 +201,11 @@ class _Codegen:
             self.protected.add(branch)
             added.append(branch)
         skip = var if op.shortcut is None else self.emit_ops(op.shortcut, var, tail=False)
+        # body/shortcut ops time themselves; this bracket covers only the add
+        timer = self._time_start("residual_add")
         r = self.fresh()
         self.line(f"{r} = {branch} + {skip}")
+        self._time_end(timer)
         self.kind[r] = "fresh"
         for name in added:
             self.protected.discard(name)
@@ -174,9 +214,26 @@ class _Codegen:
         return r
 
 
-def generate_fused_source(program: LoweredProgram) -> str:
-    """Deterministic source text for ``program`` (structure only, no weights)."""
-    return _Codegen(program).run()
+def generate_fused_source(program: LoweredProgram, instrument: bool = False) -> str:
+    """Deterministic source text for ``program`` (structure only, no weights).
+
+    ``instrument=True`` emits the same expressions bracketed by
+    ``perf_counter_ns`` deltas accumulated into a ``T`` list, one slot
+    per timed op (linears, element-wise activations, residual adds).
+    """
+    return _Codegen(program, instrument=instrument).run()
+
+
+def instrumented_op_labels(program: LoweredProgram) -> list:
+    """Per-slot op labels of the instrumented kernel, in ``T`` order.
+
+    Codegen is deterministic, so replaying it is the one way to get
+    labels that always match a source text — including one served from
+    the disk cache, where no codegen ran to produce the bound source.
+    """
+    codegen = _Codegen(program, instrument=True)
+    codegen.run()
+    return list(codegen.op_labels)
 
 
 _PROBE_DTYPES: dict = {}
@@ -287,6 +344,34 @@ class FusedKernel:
         return buffers
 
 
+class InstrumentedFusedKernel(FusedKernel):
+    """Fused kernel variant that meters per-op wall time.
+
+    The generated closure accumulates ``perf_counter_ns`` deltas into a
+    per-call ``T`` list; this wrapper converts them to seconds, retains
+    the latest vector as :attr:`last_op_seconds` and mirrors each slot
+    into the ``backend_op_seconds{op,index}`` histogram.
+    """
+
+    def __init__(self, program: LoweredProgram, fn, op_labels: list) -> None:
+        super().__init__(program, fn)
+        self.op_labels = list(op_labels)
+        self.last_op_seconds: "list | None" = None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        timings = [0] * len(self.op_labels)
+        out = self.fn(x, self._buffers(x), timings)
+        seconds = [t / 1e9 for t in timings]
+        self.last_op_seconds = seconds
+        metrics = get_metrics()
+        if metrics.enabled:
+            for index, (label, value) in enumerate(zip(self.op_labels, seconds)):
+                metrics.histogram(
+                    "backend_op_seconds", op=label, index=index
+                ).observe(value)
+        return out
+
+
 class FusedBackend:
     """Pure-numpy trace-and-replay linker."""
 
@@ -300,3 +385,26 @@ class FusedBackend:
         code = compile(source, "<repro-fused-kernel>", "exec")
         exec(code, namespace)
         return FusedKernel(program, namespace["_fused_forward"])
+
+
+class InstrumentedFusedBackend(FusedBackend):
+    """Opt-in per-op-timing variant of the fused backend.
+
+    Same lowering, same expressions; a distinct :attr:`name` keys its
+    source and kernels separately in the compile cache so instrumented
+    and fast kernels coexist without evicting each other.
+    """
+
+    name = "fused-instr"
+
+    def generate(self, program: LoweredProgram) -> str:
+        return generate_fused_source(program, instrument=True)
+
+    def bind(self, program: LoweredProgram, source: str) -> InstrumentedFusedKernel:
+        namespace = constant_bindings(program)
+        namespace["_pcns"] = time.perf_counter_ns
+        code = compile(source, "<repro-fused-instr-kernel>", "exec")
+        exec(code, namespace)
+        return InstrumentedFusedKernel(
+            program, namespace["_fused_forward"], instrumented_op_labels(program)
+        )

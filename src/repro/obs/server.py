@@ -1,11 +1,13 @@
 """Live telemetry endpoint: a stdlib HTTP thread serving /metrics,
-/status and /healthz.
+/status, /profile and /healthz.
 
 The coordinator (or any long-running command) starts a
 :class:`MetricsServer` on a daemon thread; scrapers poll ``/metrics``
 for the Prometheus exposition of the process-global registry,
 ``/status`` for a caller-supplied JSON document (the coordinator wires
-its live lease table here) and ``/healthz`` for a liveness probe.  No
+its live lease table here), ``/profile`` for the hot-stack table of the
+process-global sampling profiler (no-op text when profiling is off) and
+``/healthz`` for a liveness probe.  No
 third-party dependency: ``http.server`` + ``ThreadingHTTPServer`` only,
 and the handler never raises into the data path — telemetry failures
 degrade to 500 responses.
@@ -20,7 +22,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from . import get_metrics
+from . import get_metrics, get_profiler
 from .metrics import _label_key, _label_suffix
 from .trace import json_default
 
@@ -89,6 +91,9 @@ class _Handler(BaseHTTPRequestHandler):
                 document = self.server.owner.render_status()
                 body = json.dumps(document, sort_keys=True, default=json_default).encode()
                 self._reply(200, body, "application/json")
+            elif path == "/profile":
+                body = self.server.owner.render_profile().encode()
+                self._reply(200, body, "text/plain; charset=utf-8")
             elif path == "/healthz":
                 self._reply(200, b"ok\n", "text/plain; charset=utf-8")
             else:
@@ -116,11 +121,13 @@ class MetricsServer:
         port: int = 0,
         metrics_fn=None,
         status_fn=None,
+        profile_fn=None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self._metrics_fn = metrics_fn
         self._status_fn = status_fn
+        self._profile_fn = profile_fn
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -134,6 +141,11 @@ class MetricsServer:
         if self._status_fn is not None:
             return self._status_fn()
         return {}
+
+    def render_profile(self) -> str:
+        if self._profile_fn is not None:
+            return self._profile_fn()
+        return get_profiler().render_hot()
 
     # -- lifecycle --------------------------------------------------------
     @property

@@ -45,7 +45,9 @@ def _float(value, default: float = 0.0) -> float:
 
 
 def _end(span: dict) -> float:
-    return _float(span.get("start_unix")) + _float(span.get("duration_s"))
+    # clock skew in merged remote spans can yield negative durations;
+    # a span never ends before it starts
+    return _float(span.get("start_unix")) + max(0.0, _float(span.get("duration_s")))
 
 
 def analyze_trace(path: str, straggler_k: float = 2.0) -> dict:
@@ -102,9 +104,18 @@ def analyze_spans(spans: list, straggler_k: float = 2.0) -> dict:
 
     # -- wall clock and dominant root ------------------------------------
     main_root = max(roots, key=lambda s: _float(s.get("duration_s")), default=None)
-    if spans:
-        start = min(_float(s.get("start_unix")) for s in spans)
-        wall = max(_end(s) for s in spans) - start
+    # merged spans missing start_unix decode as 0.0; letting epoch-zero
+    # into min() inflates the wall by ~56 years and collapses every
+    # utilization figure, so the trace origin is taken over *dated*
+    # spans only
+    starts = [_float(s.get("start_unix")) for s in spans]
+    dated = [t for t in starts if t > 0]
+    if dated:
+        start = min(dated)
+        wall = max(0.0, max(_end(s) for s in spans if _float(s.get("start_unix")) > 0) - start)
+    elif spans:
+        start = min(starts)
+        wall = max(0.0, max(_end(s) for s in spans) - start)
     else:
         start, wall = 0.0, 0.0
     if main_root is not None:
@@ -228,13 +239,20 @@ def render_gantt(report: dict, width: int = 72) -> str:
         enqueued = row["enqueued_unix"] or origin
         granted = row["granted_unix"] or enqueued
         accepted = row["accepted_unix"]
-        run_end = min(accepted, granted + row["run_s"]) if row["run_s"] else accepted
+        run_s = max(0.0, row["run_s"])
+        run_end = min(accepted, granted + run_s) if run_s else accepted
+        # clock skew across hosts can deliver out-of-order timestamps;
+        # the painted boundaries must stay monotonic (e <= g < eq_end)
+        # or the ">" transfer loop walks backwards over the "=" bar
+        e = cell(enqueued)
+        g = max(e, cell(granted))
+        eq_end = max(g + 1, cell(run_end))
         lane = [" "] * width
-        for i in range(cell(enqueued), cell(granted)):
+        for i in range(e, g):
             lane[i] = "."
-        for i in range(cell(granted), max(cell(granted) + 1, cell(run_end))):
+        for i in range(g, min(eq_end, width)):
             lane[i] = "="
-        for i in range(cell(run_end), cell(accepted)):
+        for i in range(eq_end, cell(accepted)):
             lane[i] = ">"
         lines.append(f"{str(row['chunk']):>6} {row['worker']:<14} |{''.join(lane)}|")
     return "\n".join(lines)

@@ -116,8 +116,26 @@ class CompileCache:
             "kernel_misses": 0,
             "source_memory_hits": 0,
             "source_disk_hits": 0,
+            "source_disk_misses": 0,
             "source_generated": 0,
         }
+
+    def _publish_hit_ratios(self) -> None:
+        """Mirror per-level hit ratios as gauges (ops-plane visibility)."""
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        hits, misses = self.stats["kernel_hits"], self.stats["kernel_misses"]
+        if hits + misses:
+            metrics.gauge("backend_cache_hit_ratio", level="memory").set(
+                hits / (hits + misses)
+            )
+        disk_hits = self.stats["source_disk_hits"]
+        disk_misses = self.stats["source_disk_misses"]
+        if disk_hits + disk_misses:
+            metrics.gauge("backend_cache_hit_ratio", level="disk").set(
+                disk_hits / (disk_hits + disk_misses)
+            )
 
     # -- kernel level (in-memory LRU of bound callables) ---------------
 
@@ -129,9 +147,11 @@ class CompileCache:
                 self._kernels.move_to_end(key)
                 self.stats["kernel_hits"] += 1
                 get_metrics().counter("backend_cache_hits_total", level="memory").inc()
+                self._publish_hit_ratios()
                 return kernel
             self.stats["kernel_misses"] += 1
             get_metrics().counter("backend_cache_misses_total", level="memory").inc()
+            self._publish_hit_ratios()
             return None
 
     def put_kernel(self, key: str, kernel) -> None:
@@ -160,9 +180,12 @@ class CompileCache:
                 self._sources[key] = source
             self.stats["source_disk_hits"] += 1
             get_metrics().counter("backend_cache_hits_total", level="disk").inc()
+            self._publish_hit_ratios()
             return source
         if self.directory is not None:
+            self.stats["source_disk_misses"] += 1
             get_metrics().counter("backend_cache_misses_total", level="disk").inc()
+            self._publish_hit_ratios()
         return None
 
     def put_source(self, key: str, signature: str, backend: str, source: str) -> None:

@@ -381,3 +381,179 @@ def test_audit_verdicts_identical_across_backends(trained_spectral_mlp, rng, mon
     assert [layer.verdict for layer in ref.layers] == [
         layer.verdict for layer in fused.layers
     ]
+
+
+# -- instrumented per-op timing variant --------------------------------------
+
+
+def test_instrumented_kernel_bit_exact_and_timed(tiny_mlp, rng):
+    """Timing brackets wrap the same expressions: identical arrays out,
+    one wall-time slot per lowered op in."""
+    x = rng.standard_normal((4, 6)).astype(np.float32)
+    fast = _compiled(tiny_mlp)
+    timed = CompiledForward(tiny_mlp, "fused", instrument=True)
+    assert np.array_equal(timed(x), fast(x))
+    assert np.array_equal(timed(x), tiny_mlp(x))
+    labels = timed.op_labels
+    seconds = timed.last_op_seconds
+    assert labels and len(seconds) == len(labels)
+    assert all(value >= 0.0 for value in seconds)
+    # the fast path never grows timing state
+    assert fast.last_op_seconds is None and fast.op_labels is None
+
+
+def test_instrumented_labels_match_codegen(tiny_mlp):
+    from repro.nn.backend import instrumented_op_labels
+
+    tiny_mlp.eval()
+    program = lower(tiny_mlp)
+    labels = instrumented_op_labels(program)
+    timed = CompiledForward(tiny_mlp, "fused", instrument=True)
+    timed(np.zeros((1, 6), dtype=np.float32))
+    assert timed.op_labels == labels
+    # deterministic re-derivation: same program, same label order
+    assert instrumented_op_labels(program) == labels
+
+
+def test_instrumented_and_fast_kernels_coexist_in_cache(tiny_mlp, rng):
+    """Distinct backend identity = distinct cache keys at both levels:
+    enabling timing must not evict (or serve) the fast kernel."""
+    from repro.perf import get_compile_cache
+
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    fast = _compiled(tiny_mlp)
+    fast(x)
+    cache = get_compile_cache()
+    kernels_before = len(cache._kernels)
+    timed = CompiledForward(tiny_mlp, "fused", instrument=True)
+    timed(x)
+    assert len(cache._kernels) == kernels_before + 1
+    assert fast.stats["compiles"] == 1 and timed.stats["compiles"] == 1
+    # and the fast path re-resolves to its own, uninstrumented kernel
+    fast(x)
+    assert fast.last_op_seconds is None
+
+
+def test_instrument_env_default(tiny_mlp, rng, monkeypatch):
+    tiny_mlp.eval()
+    x = rng.standard_normal((1, 6)).astype(np.float32)
+    monkeypatch.setenv("REPRO_INSTRUMENT_OPS", "1")
+    timed = CompiledForward(tiny_mlp, "fused")
+    timed(x)
+    assert timed.last_op_seconds is not None
+    # explicit instrument=False beats the env
+    fast = CompiledForward(tiny_mlp, "fused", instrument=False)
+    fast(x)
+    assert fast.last_op_seconds is None
+    monkeypatch.setenv("REPRO_INSTRUMENT_OPS", "0")
+    default = CompiledForward(tiny_mlp, "fused")
+    default(x)
+    assert default.last_op_seconds is None
+
+
+def test_instrument_ignored_off_fused(tiny_mlp):
+    assert not CompiledForward(tiny_mlp, "reference", instrument=True).instrument
+
+
+def test_instrumented_call_feeds_op_seconds_histogram(tiny_mlp, rng):
+    from repro import obs
+
+    tiny_mlp.eval()
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    timed = CompiledForward(tiny_mlp, "fused", instrument=True)
+    with obs.capture() as (_, metrics):
+        timed(x)
+        timed(x)
+        for index, label in enumerate(timed.op_labels):
+            histogram = metrics.histogram("backend_op_seconds", op=label, index=index)
+            assert histogram.count == 2
+
+
+def test_pipeline_instrument_ops_lands_in_result_extra(trained_spectral_mlp, rng):
+    x = np.linspace(0, 2 * np.pi, 24)
+    xx, yy = np.meshgrid(x, x)
+    fields = np.stack(
+        [np.sin((i + 1) * xx) * np.cos(yy) * 0.8 for i in range(5)]
+    ).astype(np.float32)
+    plan = TolerancePlanner(ErrorFlowAnalyzer(trained_spectral_mlp)).plan(
+        1e-2, norm="linf", quant_fraction=0.5
+    )
+    pipeline = InferencePipeline(
+        trained_spectral_mlp, SZCompressor(), plan, backend="fused",
+        instrument_ops=True,
+    )
+    result = pipeline.execute(fields)
+    backend_info = result.extra["backend"]
+    assert backend_info["op_labels"]
+    assert len(backend_info["op_seconds"]) == len(backend_info["op_labels"])
+    plain = InferencePipeline(
+        trained_spectral_mlp, SZCompressor(), plan, backend="fused"
+    )
+    assert "op_seconds" not in plain.execute(fields).extra["backend"]
+
+
+# -- ops-plane gauges --------------------------------------------------------
+
+
+def test_compiled_active_gauge_tracks_kernel_vs_fallback(tiny_mlp, rng):
+    from repro import obs
+
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    with obs.capture() as (_, metrics):
+        compiled = _compiled(tiny_mlp)
+        compiled(x)
+        active = metrics.gauge("backend_compiled_active", backend="fused")
+        assert active.value == 1.0
+        compiled(x.astype(np.int64))  # dtype guard: interpreter fallback
+        assert active.value == 0.0
+        assert (
+            metrics.gauge(
+                "backend_last_fallback_info", backend="fused", reason="input-dtype"
+            ).value
+            == 1.0
+        )
+        compiled(x)
+        assert active.value == 1.0
+
+
+def test_last_fallback_info_gauge_switches_reason_labels(tiny_mlp, rng):
+    from repro import obs
+
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    with obs.capture() as (_, metrics):
+        compiled = _compiled(tiny_mlp)
+        compiled(x.astype(np.int64))
+        tiny_mlp.train()
+        compiled(x)
+        tiny_mlp.eval()
+        info = lambda reason: metrics.gauge(
+            "backend_last_fallback_info", backend="fused", reason=reason
+        ).value
+        # exactly one reason label holds 1.0: the latest cause
+        assert info("input-dtype") == 0.0
+        assert info("training-mode") == 1.0
+
+
+def test_cache_hit_ratio_gauges(tmp_path, tiny_mlp, rng, monkeypatch):
+    from repro import obs
+    from repro.perf import get_compile_cache
+
+    monkeypatch.setenv("REPRO_COMPILE_CACHE_DIR", str(tmp_path))
+    reset_compile_cache()
+    x = rng.standard_normal((1, 6)).astype(np.float32)
+    with obs.capture() as (_, metrics):
+        first = _compiled(tiny_mlp)
+        first(x)  # kernel miss, disk miss, source generated
+        first(x)  # cached kernel: no cache traffic
+        memory_ratio = metrics.gauge("backend_cache_hit_ratio", level="memory")
+        disk_ratio = metrics.gauge("backend_cache_hit_ratio", level="disk")
+        assert memory_ratio.value == 0.0
+        assert disk_ratio.value == 0.0
+        reset_compile_cache()  # fresh process: same disk directory
+        second = _compiled(tiny_mlp)
+        second(x)  # kernel miss, disk hit
+        cache = get_compile_cache()
+        assert cache.stats["source_disk_hits"] == 1
+        # the same gauge instruments track the new cache's ratios
+        assert memory_ratio.value == 0.0
+        assert disk_ratio.value == 1.0

@@ -466,3 +466,110 @@ def test_render_gantt_and_report_shapes():
 def test_render_report_without_chunks_says_no_stragglers():
     text = render_report(analyze_spans([]))
     assert "stragglers: none" in text
+
+
+# -- timeline robustness: degenerate spans from merged traces ---------------
+
+
+def test_analyze_spans_clamps_negative_durations():
+    """Clock skew in merged remote spans can yield duration_s < 0; a span
+    must never end before it starts (and never drag the wall negative)."""
+    spans = _synthetic_trace()
+    spans.append(
+        {
+            "span_id": "n" * 16,
+            "parent_id": "r" * 16,
+            "root": False,
+            "name": "skewed.child",
+            "start_unix": 105.0,
+            "duration_s": -3.0,
+            "trace_id": "t" * 32,
+            "attributes": {},
+        }
+    )
+    report = analyze_spans(spans)
+    assert report["wall_seconds"] == pytest.approx(10.0)
+    assert all(0.0 <= w["utilization"] <= 1.0 for w in report["workers"].values())
+
+
+def test_analyze_spans_zero_duration_instant_spans():
+    """A trace of only instant spans (duration 0) has a well-defined wall."""
+    spans = [
+        {
+            "span_id": f"{i}" * 16,
+            "parent_id": None,
+            "root": True,
+            "name": f"instant.{i}",
+            "start_unix": 100.0 + i,
+            "duration_s": 0.0,
+            "trace_id": "t" * 32,
+            "attributes": {},
+        }
+        for i in range(3)
+    ]
+    report = analyze_spans(spans)
+    assert report["wall_seconds"] == pytest.approx(2.0)
+    assert report["start_unix"] == pytest.approx(100.0)
+
+
+def test_analyze_spans_ignores_epoch_zero_spans_for_wall():
+    """Merged spans missing start_unix decode as 0.0; letting epoch zero
+    into the origin would inflate the wall by decades and zero every
+    utilization figure."""
+    spans = _synthetic_trace()
+    spans.append(
+        {
+            "span_id": "u" * 16,
+            "parent_id": "r" * 16,
+            "root": False,
+            "name": "undated.merged",
+            "start_unix": 0.0,
+            "duration_s": 0.5,
+            "trace_id": "t" * 32,
+            "attributes": {},
+        }
+    )
+    report = analyze_spans(spans)
+    assert report["wall_seconds"] == pytest.approx(10.0)
+    assert report["start_unix"] == pytest.approx(100.0)
+    assert report["workers"]["w0"]["utilization"] == pytest.approx(0.7)
+
+
+def test_analyze_spans_all_undated_falls_back_gracefully():
+    spans = [
+        {
+            "span_id": "z" * 16,
+            "parent_id": None,
+            "root": True,
+            "name": "undated.root",
+            "start_unix": 0.0,
+            "duration_s": 1.5,
+            "trace_id": "t" * 32,
+            "attributes": {},
+        }
+    ]
+    report = analyze_spans(spans)
+    assert report["wall_seconds"] == pytest.approx(1.5)
+
+
+def test_render_gantt_end_before_start_rows_stay_monotonic():
+    """Accepted-before-granted timestamps (skewed clocks) and negative
+    run_s must not let the transfer loop walk backwards over the bar."""
+    root = _synthetic_trace()[0]
+    weird = [
+        root,
+        # accepted before granted: transfer range must be empty, not negative
+        _chunk_span(0, "w0", 100.0, 109.0, 101.0, 0.5),
+        # negative run phase from a skewed phase split
+        _chunk_span(1, "w1", 100.0, 100.5, 103.0, -2.0),
+        # zero-duration chunk at the very end of the axis
+        _chunk_span(2, "w0", 110.0, 110.0, 110.0, 0.0),
+    ]
+    report = analyze_spans(weird)
+    gantt = render_gantt(report, width=40)
+    lines = gantt.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+    # every row still paints at least one run cell
+    for line in lines[1:]:
+        assert "=" in line
